@@ -1,0 +1,154 @@
+// Command experiments regenerates every evaluation artifact of the paper
+// in one run and prints a paper-vs-measured report — the executable
+// counterpart of EXPERIMENTS.md.
+//
+//	go run ./cmd/experiments
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sentomist/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Sentomist reproduction — every table and figure of the paper's evaluation")
+	fmt.Println("==========================================================================")
+
+	// E1–E3: the three Figure 5 rankings.
+	c1, err := experiments.CaseI(experiments.CaseISeedBase)
+	if err != nil {
+		return err
+	}
+	printCase(c1, "paper: 1099 samples; top-3 inspected, all confirmed the pollution")
+
+	c2, err := experiments.CaseII(experiments.CaseIISeed)
+	if err != nil {
+		return err
+	}
+	printCase(c2, "paper: 195 samples; exactly 3 busy-drops, ranked 1-3")
+
+	c3, err := experiments.CaseIII(experiments.CaseIIISeed)
+	if err != nil {
+		return err
+	}
+	printCase(c3, "paper: 95 samples; FAIL trigger [8, 20] at rank 4")
+	fmt.Printf("  FAIL-trigger rank: %d\n\n", c3.TriggerRank)
+
+	// E4: trace volume.
+	vol, err := experiments.TraceVolume()
+	if err != nil {
+		return err
+	}
+	fmt.Println("E4 — trace volume (Case I, D = 20 ms, 10 s)")
+	fmt.Printf("  paper: \"tens of megabytes\" of function-level logs\n")
+	fmt.Printf("  measured: %d bytes of lifecycle trace, %d markers, %d intervals to mine\n\n",
+		vol.TraceBytes, vol.Markers, vol.Intervals)
+
+	// E5: inspection effort.
+	eff, err := experiments.InspectionEffort(experiments.CaseIISeed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E5 — inspection effort until the first true symptom (Case II)")
+	fmt.Printf("  Sentomist ranking:     %d interval(s)\n", eff.Sentomist)
+	fmt.Printf("  chronological scan:    %d\n", eff.Chronological)
+	fmt.Printf("  random scan (expected): %.1f\n\n", eff.RandomExp)
+
+	// A1: detector ablation.
+	fmt.Println("A1 — detector plug-ins (rank of first symptom, Case II)")
+	detRows, err := experiments.DetectorAblation(experiments.CaseIISeed)
+	if err != nil {
+		return err
+	}
+	for _, r := range detRows {
+		fmt.Printf("  %-20s rank %d\n", r.Name, r.FirstSymptomRank)
+	}
+	fmt.Println()
+
+	// A2: feature ablation.
+	fmt.Println("A2 — features (rank of first symptom, Case II)")
+	featRows, err := experiments.FeatureAblation(experiments.CaseIISeed)
+	if err != nil {
+		return err
+	}
+	for _, r := range featRows {
+		fmt.Printf("  %-20s rank %-4d (%.0f dims)\n", r.Name, r.FirstSymptomRank, r.Extra)
+	}
+	fmt.Println()
+
+	// A3: kernel ablation.
+	fmt.Println("A3 — kernels (rank of first symptom, Case I run 1)")
+	kRows, err := experiments.KernelAblation(experiments.CaseISeedBase)
+	if err != nil {
+		return err
+	}
+	for _, r := range kRows {
+		fmt.Printf("  %-20s rank %d\n", r.Name, r.FirstSymptomRank)
+	}
+	fmt.Println()
+
+	// A4: Dustminer baseline.
+	fmt.Println("A4 — Dustminer-style discriminative mining (top pattern score)")
+	dRows, err := experiments.DustminerBaseline()
+	if err != nil {
+		return err
+	}
+	for _, r := range dRows {
+		fmt.Printf("  %-28s %.2f\n", r.Name, r.Extra)
+	}
+	fmt.Println()
+
+	// ν sensitivity.
+	fmt.Println("nu sensitivity — rank of first busy-drop (Case II)")
+	nuRows, err := experiments.NuSensitivity(experiments.CaseIISeed)
+	if err != nil {
+		return err
+	}
+	for _, r := range nuRows {
+		fmt.Printf("  %-10s rank %d\n", r.Name, r.FirstSymptomRank)
+	}
+	fmt.Println()
+
+	// A5: simulator fidelity.
+	pre, seqMode, err := experiments.SequentialAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Println("A5 — simulator fidelity (Figure-2 race triggers, Case I D = 20 ms)")
+	fmt.Printf("  preemptive (Avrora-like):  %d\n", pre)
+	fmt.Printf("  sequential (TOSSIM-like):  %d\n", seqMode)
+	return nil
+}
+
+func printCase(c *experiments.CaseResult, paperNote string) {
+	fmt.Printf("%s\n  %s\n", c.Name, paperNote)
+	fmt.Printf("  measured: %d samples, %d symptomatic, first at rank %d, %d/%d in the top ranks\n\n",
+		c.Samples, c.Symptomatic, c.FirstSymptomRank, c.TopKHits, c.Symptomatic)
+	fmt.Println(indent(c.Table, "  "))
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if start < i {
+				out += prefix + s[start:i]
+			}
+			if i < len(s) {
+				out += "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

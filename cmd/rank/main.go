@@ -1,0 +1,92 @@
+// Command rank loads saved lifecycle traces and ranks their event-handling
+// intervals with a chosen outlier detector — the offline back end of the
+// Sentomist pipeline.
+//
+// Usage:
+//
+//	rank -irq 4 -nodes 1 run.trace [more.trace ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sentomist"
+)
+
+func main() {
+	var (
+		irq      = flag.Int("irq", 0, "event type (interrupt number) to mine: 1=timer0, 2=timer1, 3=adc, 4=radio-rx, 5=txdone")
+		nodes    = flag.String("nodes", "", "comma-separated node IDs to mine (empty = all nodes)")
+		detector = flag.String("detector", "svm", "outlier detector: svm, pca, knn, mahalanobis, kernel-pca")
+		nu       = flag.Float64("nu", 0.05, "one-class SVM nu parameter")
+		top      = flag.Int("top", 10, "rows to print from the top")
+		bottom   = flag.Int("bottom", 2, "rows to print from the bottom")
+	)
+	flag.Parse()
+	if *irq == 0 || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "rank: usage: rank -irq N [-nodes 1,2] trace [trace...]")
+		os.Exit(2)
+	}
+	if err := run(*irq, *nodes, *detector, *nu, *top, *bottom, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "rank:", err)
+		os.Exit(1)
+	}
+}
+
+func run(irq int, nodesCSV, detName string, nu float64, top, bottom int, paths []string) error {
+	var nodeIDs []int
+	if nodesCSV != "" {
+		for _, part := range strings.Split(nodesCSV, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad node id %q: %w", part, err)
+			}
+			nodeIDs = append(nodeIDs, id)
+		}
+	}
+	var det sentomist.Detector
+	switch strings.ToLower(detName) {
+	case "svm":
+		det = sentomist.OneClassSVM(nu, nil)
+	case "pca":
+		det = sentomist.PCADetector(0)
+	case "knn":
+		det = sentomist.KNNDetector(0)
+	case "mahalanobis":
+		det = sentomist.MahalanobisDetector()
+	case "kernel-pca", "kernelpca":
+		det = sentomist.KernelPCADetector(nil, 0)
+	default:
+		return fmt.Errorf("unknown detector %q", detName)
+	}
+
+	var inputs []sentomist.RunInput
+	for _, path := range paths {
+		t, err := sentomist.LoadTrace(path)
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, sentomist.RunInput{Trace: t})
+	}
+	labels := sentomist.LabelRunSeq
+	if len(paths) == 1 {
+		labels = sentomist.LabelNodeSeq
+	}
+	ranking, err := sentomist.Mine(inputs, sentomist.MineConfig{
+		IRQ:      irq,
+		Nodes:    nodeIDs,
+		Detector: det,
+		Labels:   labels,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d intervals (%d excluded as incomplete), %d dims, detector %s:\n\n",
+		len(ranking.Samples), ranking.Excluded, ranking.Dim, ranking.Detector)
+	fmt.Print(ranking.Table(top, bottom))
+	return nil
+}

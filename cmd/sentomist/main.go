@@ -1,0 +1,182 @@
+// Command sentomist runs one of the paper's case studies end to end and
+// prints the resulting suspicion ranking (the shape of the paper's
+// Figure 5).
+//
+// Usage:
+//
+//	sentomist -case I   [-seconds 10] [-seed 1] [-fixed] [-detector svm] [-top 10]
+//	sentomist -case II  [-seconds 20] ...
+//	sentomist -case III [-seconds 15] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sentomist"
+)
+
+func main() {
+	var (
+		study    = flag.String("case", "I", "case study: I (data pollution), II (packet loss), III (CTP hang)")
+		seconds  = flag.Float64("seconds", 0, "run length in simulated seconds (0 = the paper's default)")
+		seed     = flag.Uint64("seed", 0, "random seed (0 = the experiment default)")
+		fixed    = flag.Bool("fixed", false, "run the bug-fixed application variant")
+		detector = flag.String("detector", "svm", "outlier detector: svm, pca, knn, mahalanobis, kernel-pca")
+		nu       = flag.Float64("nu", 0.05, "one-class SVM nu parameter")
+		top      = flag.Int("top", 7, "ranking rows to print from the top")
+		bottom   = flag.Int("bottom", 2, "ranking rows to print from the bottom")
+		save     = flag.String("save", "", "also save the trace(s) to this path prefix")
+		localize = flag.Bool("localize", false, "also print the symptom-to-source localization report")
+		htmlOut  = flag.String("html", "", "write a self-contained HTML report to this path")
+	)
+	flag.Parse()
+	if err := run(*study, *seconds, *seed, *fixed, *detector, *nu, *top, *bottom, *save, *localize, *htmlOut); err != nil {
+		fmt.Fprintln(os.Stderr, "sentomist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(study string, seconds float64, seed uint64, fixed bool, detName string, nu float64, top, bottom int, save string, localize bool, htmlOut string) error {
+	det, err := pickDetector(detName, nu)
+	if err != nil {
+		return err
+	}
+	var (
+		inputs []sentomist.RunInput
+		cfg    sentomist.MineConfig
+		prog   *sentomist.Program
+	)
+	cfg.Detector = det
+
+	switch strings.ToUpper(study) {
+	case "I", "1":
+		if seconds == 0 {
+			seconds = 10
+		}
+		if seed == 0 {
+			seed = 100
+		}
+		for i, d := range []int{20, 40, 60, 80, 100} {
+			run, err := sentomist.RunCaseI(sentomist.CaseIConfig{
+				PeriodMS: d, Seconds: seconds, Seed: seed + uint64(i), Fixed: fixed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("run %d: D=%dms, %d deliveries\n", i+1, d, len(run.Net.Deliveries()))
+			inputs = append(inputs, sentomist.RunInput{Trace: run.Trace, Programs: run.Programs})
+			if save != "" {
+				if err := sentomist.SaveTrace(run.Trace, fmt.Sprintf("%s-run%d.trace", save, i+1)); err != nil {
+					return err
+				}
+			}
+		}
+		cfg.IRQ = sentomist.IRQADC
+		cfg.Nodes = []int{sentomist.CaseISensorID}
+		cfg.Labels = sentomist.LabelRunSeq
+		prog = inputs[0].Programs[sentomist.CaseISensorID]
+	case "II", "2":
+		if seconds == 0 {
+			seconds = 20
+		}
+		if seed == 0 {
+			seed = 7
+		}
+		run, err := sentomist.RunCaseII(sentomist.CaseIIConfig{Seconds: seconds, Seed: seed, Fixed: fixed})
+		if err != nil {
+			return err
+		}
+		drops, _ := run.RAM(sentomist.CaseIIRelayID, "dropcnt")
+		fmt.Printf("relay forwarded with %d active drops; %d deliveries\n", drops, len(run.Net.Deliveries()))
+		inputs = append(inputs, sentomist.RunInput{Trace: run.Trace, Programs: run.Programs})
+		if save != "" {
+			if err := sentomist.SaveTrace(run.Trace, save+".trace"); err != nil {
+				return err
+			}
+		}
+		cfg.IRQ = sentomist.IRQRadioRX
+		cfg.Nodes = []int{sentomist.CaseIIRelayID}
+		cfg.Labels = sentomist.LabelSeqOnly
+		prog = run.Program(sentomist.CaseIIRelayID)
+	case "III", "3":
+		if seconds == 0 {
+			seconds = 15
+		}
+		if seed == 0 {
+			seed = 20
+		}
+		run, err := sentomist.RunCaseIII(sentomist.CaseIIIConfig{Seconds: seconds, Seed: seed, Fixed: fixed})
+		if err != nil {
+			return err
+		}
+		fails := 0
+		for id := 1; id <= 8; id++ {
+			f, _ := run.RAM(id, "failcnt")
+			fails += int(f)
+		}
+		fmt.Printf("network ran with %d unhandled send failures; %d deliveries\n", fails, len(run.Net.Deliveries()))
+		inputs = append(inputs, sentomist.RunInput{Trace: run.Trace, Programs: run.Programs})
+		if save != "" {
+			if err := sentomist.SaveTrace(run.Trace, save+".trace"); err != nil {
+				return err
+			}
+		}
+		cfg.IRQ = sentomist.IRQTimer0
+		cfg.Nodes = sentomist.CaseIIISources()
+		cfg.Labels = sentomist.LabelNodeSeq
+		prog = run.Program(sentomist.CaseIIISources()[0])
+	default:
+		return fmt.Errorf("unknown case study %q (want I, II, or III)", study)
+	}
+
+	ranking, err := sentomist.Mine(inputs, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d intervals mined (%d-dimensional instruction counters, detector %s):\n\n",
+		len(ranking.Samples), ranking.Dim, ranking.Detector)
+	fmt.Print(ranking.Table(top, bottom))
+	if localize {
+		suspicions, err := sentomist.Localize(inputs, ranking, prog, sentomist.LocalizeConfig{MaxResults: 10})
+		if err != nil {
+			return fmt.Errorf("localize: %w", err)
+		}
+		fmt.Printf("\nsymptom-to-source localization:\n%s", sentomist.LocalizeReport(suspicions))
+	}
+	if htmlOut != "" {
+		f, err := os.Create(htmlOut)
+		if err != nil {
+			return err
+		}
+		werr := sentomist.HTMLReport(f, inputs, ranking, prog, sentomist.HTMLConfig{
+			Title: fmt.Sprintf("Sentomist report — case %s", strings.ToUpper(study)),
+		})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("\nwrote HTML report to %s\n", htmlOut)
+	}
+	return nil
+}
+
+func pickDetector(name string, nu float64) (sentomist.Detector, error) {
+	switch strings.ToLower(name) {
+	case "svm":
+		return sentomist.OneClassSVM(nu, nil), nil
+	case "pca":
+		return sentomist.PCADetector(0), nil
+	case "knn":
+		return sentomist.KNNDetector(0), nil
+	case "mahalanobis":
+		return sentomist.MahalanobisDetector(), nil
+	case "kernel-pca", "kernelpca":
+		return sentomist.KernelPCADetector(nil, 0), nil
+	}
+	return nil, fmt.Errorf("unknown detector %q", name)
+}

@@ -1,0 +1,108 @@
+// Command svm8asm is the developer tool for SVM-8 programs: it assembles
+// a source file and prints diagnostics, the disassembly, or program
+// statistics. It is the quickest way to check an application before
+// wiring it into a Scenario.
+//
+// Usage:
+//
+//	svm8asm app.s              # assemble, report errors, print stats
+//	svm8asm -d app.s           # also print the disassembly
+//	svm8asm -builtin caseII    # inspect a bundled case-study program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sentomist/internal/apps"
+	"sentomist/internal/asm"
+	"sentomist/internal/isa"
+)
+
+func main() {
+	var (
+		disasm  = flag.Bool("d", false, "print the disassembly")
+		builtin = flag.String("builtin", "", "inspect a bundled program: caseI, caseI-sink, caseII, caseII-source, caseIII")
+	)
+	flag.Parse()
+	if err := run(*disasm, *builtin, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "svm8asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(disasm bool, builtin string, args []string) error {
+	var (
+		name string
+		src  string
+	)
+	switch {
+	case builtin != "":
+		prog, err := apps.BuiltinSource(builtin)
+		if err != nil {
+			return err
+		}
+		name, src = builtin, prog
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		name, src = args[0], string(data)
+	default:
+		return fmt.Errorf("usage: svm8asm [-d] file.s | svm8asm -builtin NAME")
+	}
+
+	result, err := asm.File(name, src)
+	if err != nil {
+		return err
+	}
+	p := result.Program
+	fmt.Printf("%s: %d instructions, %d vectors, %d tasks, %d variables, %d constants\n",
+		name, len(p.Code), len(p.Vectors), len(p.Tasks), len(result.Vars), len(result.Consts))
+
+	// Cycle budget per opcode class: a quick feel for where time goes.
+	byOp := map[isa.Op]int{}
+	for _, in := range p.Code {
+		byOp[in.Op]++
+	}
+	type row struct {
+		op isa.Op
+		n  int
+	}
+	rows := make([]row, 0, len(byOp))
+	for op, n := range byOp {
+		rows = append(rows, row{op, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].op < rows[j].op
+	})
+	var parts []string
+	for _, r := range rows {
+		parts = append(parts, fmt.Sprintf("%s×%d", r.op, r.n))
+	}
+	fmt.Printf("opcode mix: %s\n", strings.Join(parts, " "))
+
+	if len(result.Vars) > 0 {
+		names := make([]string, 0, len(result.Vars))
+		for v := range result.Vars {
+			names = append(names, v)
+		}
+		sort.Slice(names, func(i, j int) bool { return result.Vars[names[i]] < result.Vars[names[j]] })
+		fmt.Println("variables:")
+		for _, v := range names {
+			fmt.Printf("  %-16s %#04x\n", v, result.Vars[v])
+		}
+	}
+	if disasm {
+		fmt.Println("\ndisassembly:")
+		fmt.Print(p.Disassemble())
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Unhandled failure (the paper's Case III, Section VI-D): nine nodes run a
+// CTP-style collection protocol alongside a heartbeat protocol. When a
+// report submission is rejected because the heartbeat occupies the radio,
+// the collection path never clears its busy flag and silently hangs. The
+// example mines the report-timer event type across the four source nodes,
+// reproducing the shape of Figure 5(c), then shows the hang in the delivery
+// timeline.
+//
+//	go run ./examples/ctphang
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentomist"
+)
+
+func main() {
+	run, err := sentomist.RunCaseIII(sentomist.CaseIIIConfig{
+		Seconds: 15,
+		Seed:    20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-node protocol state after 15 s:")
+	for id := 1; id <= 8; id++ {
+		sent, _ := run.RAM(id, "sentcnt")
+		fails, _ := run.RAM(id, "failcnt")
+		skips, _ := run.RAM(id, "skipcnt")
+		hung := ""
+		if fails > 0 {
+			hung = "  <- collection hung after an unhandled send-FAIL"
+		}
+		fmt.Printf("  node %d: %2d reports sent, %d FAILs, %2d skipped%s\n", id, sent, fails, skips, hung)
+	}
+
+	ranking, err := sentomist.Mine(
+		[]sentomist.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+		sentomist.MineConfig{
+			IRQ:    sentomist.IRQTimer0,
+			Nodes:  sentomist.CaseIIISources(),
+			Labels: sentomist.LabelNodeSeq,
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmined %d report-timer intervals across the sources (Figure 5(c) shape):\n\n",
+		len(ranking.Samples))
+	fmt.Print(ranking.Table(6, 2))
+
+	fmt.Println("\noracle check of the top ranks:")
+	for i, s := range ranking.Top(5) {
+		kind := "normal"
+		if sentomist.CaseIIITrigger(run, s.Interval) {
+			kind = "FAIL TRIGGER (the unhandled failure)"
+		} else if sentomist.CaseIIISymptom(run, s.Interval) {
+			kind = "post-hang skip (collection wedged)"
+		}
+		fmt.Printf("  rank %d: %-8s -> %s\n", i+1, s.Label(sentomist.LabelNodeSeq), kind)
+	}
+
+	// Show the hang from the sink's point of view: deliveries from the
+	// hung node's origin stop after the failure.
+	trigRank := ranking.RankOf(func(s sentomist.Sample) bool {
+		return sentomist.CaseIIITrigger(run, s.Interval)
+	})
+	if trigRank == 0 {
+		fmt.Println("\nno FAIL trigger in this run")
+		return
+	}
+	trig := ranking.Samples[trigRank-1]
+	origin := trig.Interval.Node
+	var before, after int
+	for _, d := range run.Net.Deliveries() {
+		if len(d.Payload) == 0 || int(d.Payload[0]) != origin || len(d.Payload) >= 8 {
+			continue
+		}
+		if d.Cycle < trig.Interval.StartCycle {
+			before++
+		} else {
+			after++
+		}
+	}
+	fmt.Printf("\nreadings from node %d seen on the air: %d before the FAIL, %d after —\n",
+		origin, before, after)
+	fmt.Println("the node still heartbeats (it looks alive) but reports nothing: the")
+	fmt.Println("paper's \"WSN stops data reporting\" failure, found at rank", trigRank, "of",
+		len(ranking.Samples))
+}

@@ -1,0 +1,106 @@
+// Data pollution (the paper's Case I, Section VI-B): five testing runs of
+// a single-hop collection app with sampling periods D = 20..100 ms are
+// pooled and mined together, reproducing the shape of Figure 5(a). The
+// example then inspects the top-ranked interval the way a developer would:
+// its lifecycle window and its per-function instruction counts, which show
+// the ADC event procedure executing twice inside one interval.
+//
+//	go run ./examples/datapollution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentomist"
+)
+
+func main() {
+	var (
+		inputs []sentomist.RunInput
+		runs   []*sentomist.Run
+	)
+	for i, d := range []int{20, 40, 60, 80, 100} {
+		run, err := sentomist.RunCaseI(sentomist.CaseIConfig{
+			PeriodMS: d,
+			Seconds:  10,
+			Seed:     uint64(100 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("testing run %d: D = %3d ms -> %3d packets delivered\n",
+			i+1, d, len(run.Net.Deliveries()))
+		runs = append(runs, run)
+		inputs = append(inputs, sentomist.RunInput{Trace: run.Trace, Programs: run.Programs})
+	}
+
+	ranking, err := sentomist.Mine(inputs, sentomist.MineConfig{
+		IRQ:    sentomist.IRQADC,
+		Nodes:  []int{sentomist.CaseISensorID},
+		Labels: sentomist.LabelRunSeq,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npooled %d ADC intervals across the five runs (Figure 5(a) shape):\n\n",
+		len(ranking.Samples))
+	fmt.Print(ranking.Table(6, 2))
+
+	// Inspect rank 1. The polluted interval contains a second int(3)
+	// between postTask(0) and runTask(0): the fourth reading arrived
+	// before the send task ran, overwriting packet[0].
+	top := ranking.Samples[0]
+	run := runs[top.Run-1]
+	desc, err := sentomist.DescribeInterval(run.Trace, top.Interval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrank-1 interval %s (%d µs):\n  %s\n",
+		top.Label(sentomist.LabelRunSeq), top.Interval.Duration(), desc)
+
+	counts, err := sentomist.SymbolCounts(run.Trace, run.Program(top.Interval.Node), top.Interval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-function instruction counts inside the window:")
+	for _, sc := range counts {
+		fmt.Printf("  %-14s %6d\n", sc.Symbol, sc.Count)
+	}
+	fmt.Println("\nadc_isr executing twice within one interval is the Figure-2 race:")
+	fmt.Println("the fourth reading polluted packet[0] before prepareAndSendPacket ran.")
+
+	// Cross-check with the ground-truth oracle (the race interleaving
+	// the paper describes): every top-ranked interval really contains
+	// it. In the fixed variant the same interleaving still occurs — the
+	// fourth interrupt cannot be prevented — but the send task reads a
+	// snapshot taken before the post, so the packet can no longer be
+	// polluted. Sentomist still surfaces those intervals (they are
+	// genuinely rare interleavings); inspection then shows them benign,
+	// which is exactly the manual confirmation step of the paper.
+	pollutions := 0
+	for _, s := range ranking.Samples {
+		if sentomist.CaseISymptom(runs[s.Run-1], s.Interval) {
+			pollutions++
+		}
+	}
+	fixedRun, err := sentomist.RunCaseI(sentomist.CaseIConfig{
+		PeriodMS: 20, Seconds: 10, Seed: 100, Fixed: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixedIvs, err := sentomist.ExtractIntervals(fixedRun.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixedPollutions := 0
+	for _, iv := range fixedIvs {
+		if sentomist.CaseISymptom(fixedRun, iv) {
+			fixedPollutions++
+		}
+	}
+	fmt.Printf("\nrace interleavings: %d in the buggy runs (all polluting, all top-ranked);\n"+
+		"%d in the fixed variant (benign: the send task reads the pre-post snapshot)\n",
+		pollutions, fixedPollutions)
+}

@@ -1,0 +1,68 @@
+// Packet loss (the paper's Case II, Section VI-C): a three-node forwarding
+// chain where the relay actively drops a received packet whenever its MAC
+// busy flag is still set from forwarding the previous one. The drops hide
+// among ordinary wireless losses; mining the relay's packet-arrival event
+// procedure surfaces exactly the dropped-packet intervals, reproducing the
+// shape of Figure 5(b).
+//
+//	go run ./examples/packetloss
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentomist"
+)
+
+func main() {
+	run, err := sentomist.RunCaseII(sentomist.CaseIIConfig{
+		Seconds: 20,
+		Seed:    7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	forwarded, _ := run.RAM(sentomist.CaseIIRelayID, "fwdcnt")
+	dropped, _ := run.RAM(sentomist.CaseIIRelayID, "dropcnt")
+	fmt.Printf("relay received %d packets and actively dropped %d of them\n", forwarded, dropped)
+	fmt.Printf("(plus ordinary wireless losses, which look identical to the sink: %d deliveries)\n\n",
+		len(run.Net.Deliveries()))
+
+	ranking, err := sentomist.Mine(
+		[]sentomist.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+		sentomist.MineConfig{
+			IRQ:    sentomist.IRQRadioRX,
+			Nodes:  []int{sentomist.CaseIIRelayID},
+			Labels: sentomist.LabelSeqOnly,
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mined %d packet-arrival intervals at the relay (Figure 5(b) shape):\n\n",
+		len(ranking.Samples))
+	fmt.Print(ranking.Table(6, 2))
+
+	// Confirm the top ranks with the ground-truth oracle and inspect the
+	// winner: its window shows the forward task running, and its
+	// per-function counts include the fwd_drop path the normal
+	// intervals never touch.
+	fmt.Println("\noracle check of the top ranks:")
+	for i, s := range ranking.Top(int(dropped) + 2) {
+		fmt.Printf("  rank %d: packet %3s -> busy-drop symptom: %v\n",
+			i+1, s.Label(sentomist.LabelSeqOnly), sentomist.CaseIISymptom(run, s.Interval))
+	}
+
+	top := ranking.Samples[0]
+	counts, err := sentomist.SymbolCounts(run.Trace, run.Program(top.Interval.Node), top.Interval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-function instruction counts of the rank-1 interval:")
+	for _, sc := range counts {
+		fmt.Printf("  %-12s %6d\n", sc.Symbol, sc.Count)
+	}
+	fmt.Println("\nthe fwd_drop rows betray the bug: AMSend.send was rejected while busy,")
+	fmt.Println("and the packet was discarded instead of being queued.")
+}

@@ -1,0 +1,3 @@
+module sentomist
+
+go 1.22

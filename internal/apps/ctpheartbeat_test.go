@@ -1,0 +1,84 @@
+package apps
+
+import (
+	"testing"
+
+	"sentomist/internal/core"
+	"sentomist/internal/dev"
+	"sentomist/internal/lifecycle"
+)
+
+func ctpSummary(t *testing.T, run *Run) (fails, skips int) {
+	t.Helper()
+	for id := 1; id <= 8; id++ {
+		f, _ := run.RAM(id, "failcnt")
+		sk, _ := run.RAM(id, "skipcnt")
+		sent, _ := run.RAM(id, "sentcnt")
+		hbr, _ := run.RAM(id, "hbrej")
+		fd, _ := run.RAM(id, "fwddrop")
+		t.Logf("node %d: sent=%d fail=%d skip=%d hbrej=%d fwddrop=%d", id, sent, f, sk, hbr, fd)
+		fails += int(f)
+		skips += int(sk)
+	}
+	return fails, skips
+}
+
+func TestCTPHeartbeatRunsAndFails(t *testing.T) {
+	run, err := RunCTPHeartbeat(CTPConfig{Seconds: 15, Seed: 20})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fails, skips := ctpSummary(t, run)
+	total := 0
+	for _, id := range CTPSources {
+		nt := run.Trace.Node(id)
+		ivs, err := lifecycle.NewSequence(nt).Extract()
+		if err != nil {
+			t.Fatalf("extract node %d: %v", id, err)
+		}
+		total += len(lifecycle.GroupByIRQ(ivs)[dev.IRQTimer0])
+	}
+	t.Logf("report-timer intervals across sources: %d; fails=%d skips=%d deliveries=%d",
+		total, fails, skips, len(run.Net.Deliveries()))
+	if total < 60 {
+		t.Errorf("expected ~90 report intervals, got %d", total)
+	}
+	if fails == 0 {
+		t.Errorf("expected at least one unhandled send-FAIL")
+	}
+}
+
+// TestCaseThreeRanking reproduces Figure 5(c): mine the report-timer event
+// type across the four source nodes; the FAIL-trigger interval (and the
+// hang it causes) must surface near the top.
+func TestCaseThreeRanking(t *testing.T) {
+	run, err := RunCTPHeartbeat(CTPConfig{Seconds: 15, Seed: 20})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ranking, err := core.Mine(
+		[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+		core.Config{IRQ: dev.IRQTimer0, Nodes: CTPSources, Labels: core.LabelNodeSeq},
+	)
+	if err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	failPC, err := LabelPC(run.Program(CTPSources[0]), "cst_fail")
+	if err != nil {
+		t.Fatalf("label: %v", err)
+	}
+	trigger := func(s core.Sample) bool {
+		return IntervalHasPC(run.Trace.Node(s.Interval.Node), s.Interval, failPC)
+	}
+	for i, s := range ranking.Top(8) {
+		t.Logf("rank %2d: %-8s score=%8.4f trigger=%v", i+1, s.Label(core.LabelNodeSeq), s.Score, trigger(s))
+	}
+	rank := ranking.RankOf(trigger)
+	t.Logf("samples=%d; first FAIL-trigger interval at rank %d", len(ranking.Samples), rank)
+	if rank == 0 {
+		t.Fatal("no FAIL-trigger interval found")
+	}
+	if rank > 5 {
+		t.Errorf("FAIL trigger ranked %d, want within top 5 (paper: rank 4)", rank)
+	}
+}

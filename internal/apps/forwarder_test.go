@@ -1,0 +1,87 @@
+package apps
+
+import (
+	"testing"
+
+	"sentomist/internal/core"
+	"sentomist/internal/dev"
+	"sentomist/internal/lifecycle"
+)
+
+func TestForwarderRunsAndDrops(t *testing.T) {
+	run, err := RunForwarder(ForwarderConfig{Seconds: 20, Seed: 7})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	nt := run.Trace.Node(FwdRelayID)
+	if nt == nil {
+		t.Fatal("no relay trace")
+	}
+	seq := lifecycle.NewSequence(nt)
+	ivs, err := seq.Extract()
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	rx := lifecycle.GroupByIRQ(ivs)[dev.IRQRadioRX]
+	drops, _ := run.RAM(FwdRelayID, "dropcnt")
+	fwd, _ := run.RAM(FwdRelayID, "fwdcnt")
+	t.Logf("relay rx intervals=%d fwdcnt=%d dropcnt=%d deliveries=%d",
+		len(rx), fwd, drops, len(run.Net.Deliveries()))
+
+	dropPC, err := LabelPC(run.Program(FwdRelayID), "fwd_drop")
+	if err != nil {
+		t.Fatalf("label: %v", err)
+	}
+	symptomatic := 0
+	for _, iv := range rx {
+		if IntervalHasPC(nt, iv, dropPC) {
+			symptomatic++
+		}
+	}
+	t.Logf("symptomatic rx intervals: %d", symptomatic)
+	if len(rx) < 100 {
+		t.Errorf("expected ~200 packet-arrival intervals, got %d", len(rx))
+	}
+	if drops == 0 || symptomatic == 0 {
+		t.Errorf("expected busy drops; dropcnt=%d symptomatic=%d", drops, symptomatic)
+	}
+}
+
+// TestCaseTwoRanking reproduces Figure 5(b): rank the relay's packet-arrival
+// intervals; the few busy-drop intervals must surface at the top.
+func TestCaseTwoRanking(t *testing.T) {
+	run, err := RunForwarder(ForwarderConfig{Seconds: 20, Seed: 7})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ranking, err := core.Mine(
+		[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+		core.Config{IRQ: dev.IRQRadioRX, Nodes: []int{FwdRelayID}, Labels: core.LabelSeqOnly},
+	)
+	if err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	nt := run.Trace.Node(FwdRelayID)
+	dropPC, _ := LabelPC(run.Program(FwdRelayID), "fwd_drop")
+	symptomatic := func(s core.Sample) bool {
+		return IntervalHasPC(nt, s.Interval, dropPC)
+	}
+	total := 0
+	for _, s := range ranking.Samples {
+		if symptomatic(s) {
+			total++
+		}
+	}
+	for i, s := range ranking.Top(8) {
+		t.Logf("rank %2d: %-6s score=%8.4f symptom=%v", i+1, s.Label(core.LabelSeqOnly), s.Score, symptomatic(s))
+	}
+	t.Logf("samples=%d symptomatic=%d", len(ranking.Samples), total)
+	if total == 0 {
+		t.Fatal("no drop symptoms to rank")
+	}
+	for i := 0; i < total; i++ {
+		if !symptomatic(ranking.Samples[i]) {
+			t.Errorf("rank %d is not symptomatic though %d symptoms exist", i+1, total)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sentomist/internal/core"
+	"sentomist/internal/dev"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden ranking files")
+
+// goldenHead renders the top rows of a ranking in a stable textual form.
+func goldenHead(r *core.Ranking, k int) string {
+	var b strings.Builder
+	for i, s := range r.Top(k) {
+		fmt.Fprintf(&b, "%2d %-10s %9.4f\n", i+1, s.Label(r.Labels), s.Score)
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("ranking drifted from golden %s:\n--- want ---\n%s--- got ---\n%s", name, want, got)
+	}
+}
+
+// TestGoldenRankings pins the exact canonical-seed rankings: any
+// unintentional change to the substrate, the analyzer, or the detector —
+// including a reintroduced source of nondeterminism — shifts scores or
+// order and fails here.
+func TestGoldenRankings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("canonical end-to-end runs")
+	}
+
+	t.Run("caseII", func(t *testing.T) {
+		run, err := RunForwarder(ForwarderConfig{Seconds: 20, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranking, err := core.Mine(
+			[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+			core.Config{IRQ: dev.IRQRadioRX, Nodes: []int{FwdRelayID}, Labels: core.LabelSeqOnly},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "caseII_top10.golden", goldenHead(ranking, 10))
+	})
+
+	t.Run("caseIII", func(t *testing.T) {
+		run, err := RunCTPHeartbeat(CTPConfig{Seconds: 15, Seed: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranking, err := core.Mine(
+			[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+			core.Config{IRQ: dev.IRQTimer0, Nodes: CTPSources, Labels: core.LabelNodeSeq},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "caseIII_top10.golden", goldenHead(ranking, 10))
+	})
+
+	t.Run("caseI_run1", func(t *testing.T) {
+		run, err := RunOscilloscope(OscConfig{PeriodMS: 20, Seconds: 10, Seed: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranking, err := core.Mine(
+			[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+			core.Config{IRQ: dev.IRQADC, Nodes: []int{OscSensorID}, Labels: core.LabelSeqOnly},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "caseI_run1_top10.golden", goldenHead(ranking, 10))
+	})
+}

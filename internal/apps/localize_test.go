@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"testing"
+
+	"sentomist/internal/core"
+	"sentomist/internal/dev"
+)
+
+// TestLocalizeCaseII: symptom-to-source localization on the busy-drop bug.
+// The top implicated location must be the relay's fwd_drop path — the
+// exact buggy lines — flagged as suspect-only.
+func TestLocalizeCaseII(t *testing.T) {
+	run, err := RunForwarder(ForwarderConfig{Seconds: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []core.RunInput{{Trace: run.Trace, Programs: run.Programs}}
+	ranking, err := core.Mine(inputs, core.Config{
+		IRQ:   dev.IRQRadioRX,
+		Nodes: []int{FwdRelayID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := run.Program(FwdRelayID)
+	suspicions, err := core.Localize(inputs, ranking, prog, core.LocalizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suspicions) == 0 {
+		t.Fatal("no locations implicated")
+	}
+	t.Logf("localization report:\n%s", core.LocalizeReport(suspicions[:5]))
+	top := suspicions[0]
+	if top.Symbol != "fwd_drop" {
+		t.Errorf("top location %q, want fwd_drop", top.Symbol)
+	}
+	if !top.OnlySuspect {
+		t.Error("the drop path should be suspect-only")
+	}
+	// Line metadata must point into the assembly source.
+	if top.Line == 0 {
+		t.Error("no source line recorded")
+	}
+}
+
+// TestLocalizeCaseI: the data-pollution race implicates the ADC event
+// procedure (its instructions execute twice in polluted windows) and the
+// maintenance load that opens the race window.
+func TestLocalizeCaseI(t *testing.T) {
+	run, err := RunOscilloscope(OscConfig{PeriodMS: 20, Seconds: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []core.RunInput{{Trace: run.Trace, Programs: run.Programs}}
+	ranking, err := core.Mine(inputs, core.Config{
+		IRQ:   dev.IRQADC,
+		Nodes: []int{OscSensorID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspicions, err := core.Localize(inputs, ranking, run.Program(OscSensorID), core.LocalizeConfig{MaxResults: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, l := range suspicions {
+		seen[l.Symbol] = true
+	}
+	for _, want := range []string{"adc_isr", "maint_inner"} {
+		if !seen[want] {
+			t.Errorf("localization misses %s; got %v", want, seen)
+		}
+	}
+}
+
+func TestLocalizeErrors(t *testing.T) {
+	run, err := RunForwarder(ForwarderConfig{Seconds: 5, Seed: 1, Fixed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []core.RunInput{{Trace: run.Trace, Programs: run.Programs}}
+	ranking, err := core.Mine(inputs, core.Config{IRQ: dev.IRQRadioRX, Nodes: []int{FwdRelayID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := run.Program(FwdRelayID)
+	// SuspectCount >= all samples: no normal set remains.
+	if _, err := core.Localize(inputs, ranking, prog, core.LocalizeConfig{
+		SuspectCount: len(ranking.Samples),
+	}); err == nil {
+		t.Error("all-suspect localization accepted")
+	}
+	// Empty ranking.
+	if _, err := core.Localize(inputs, &core.Ranking{}, prog, core.LocalizeConfig{}); err == nil {
+		t.Error("empty ranking accepted")
+	}
+}

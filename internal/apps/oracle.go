@@ -1,0 +1,84 @@
+package apps
+
+import (
+	"sentomist/internal/dev"
+	"sentomist/internal/lifecycle"
+)
+
+// Ground-truth symptom oracles for the three case studies, used by the
+// experiments to verify that top-ranked intervals really contain the bug
+// (the automated stand-in for the paper's manual confirmation step).
+
+// CaseISymptom reports whether iv (an ADC interval of the Case-I sensor)
+// shows the Figure-2 race interleaving: another ADC interrupt between the
+// post of the send task and its run. In the buggy variant this interleaving
+// always pollutes the outgoing packet; in the fixed variant it is benign.
+func CaseISymptom(run *Run, iv lifecycle.Interval) bool {
+	nt := run.Trace.Node(iv.Node)
+	if nt == nil {
+		return false
+	}
+	return PollutionSymptom(lifecycle.NewSequence(nt), iv)
+}
+
+// CaseIISymptom reports whether iv (a packet-arrival interval of the
+// Case-II relay) took the active-drop path.
+func CaseIISymptom(run *Run, iv lifecycle.Interval) bool {
+	return intervalHasLabel(run, iv, "fwd_drop")
+}
+
+// CaseIIITrigger reports whether iv (a report-timer interval of a Case-III
+// source) is the FAIL-trigger instance — the unhandled send failure.
+func CaseIIITrigger(run *Run, iv lifecycle.Interval) bool {
+	return intervalHasLabel(run, iv, "cst_fail")
+}
+
+// CaseIIISymptom reports whether iv shows any symptom of the Case-III bug:
+// either the FAIL trigger itself or a post-hang skip (the report path
+// finding the protocol busy flag permanently set).
+func CaseIIISymptom(run *Run, iv lifecycle.Interval) bool {
+	if iv.IRQ != dev.IRQTimer0 {
+		return false
+	}
+	if CaseIIITrigger(run, iv) {
+		return true
+	}
+	if !intervalHasLabel(run, iv, "cst_skip") {
+		return false
+	}
+	// A skip is a hang symptom only after the node's FAIL; before it,
+	// skips cannot occur on sources (reports are spaced far beyond one
+	// send exchange). Confirm by checking a FAIL happened earlier.
+	nt := run.Trace.Node(iv.Node)
+	if nt == nil {
+		return false
+	}
+	failPC, err := LabelPC(run.Program(iv.Node), "cst_fail")
+	if err != nil {
+		return false
+	}
+	for m := 0; m <= iv.StartMarker; m++ {
+		for _, d := range nt.Markers[m].Deltas {
+			if d.PC == failPC && d.Count > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func intervalHasLabel(run *Run, iv lifecycle.Interval, label string) bool {
+	prog := run.Program(iv.Node)
+	if prog == nil {
+		return false
+	}
+	pc, err := LabelPC(prog, label)
+	if err != nil {
+		return false
+	}
+	nt := run.Trace.Node(iv.Node)
+	if nt == nil {
+		return false
+	}
+	return IntervalHasPC(nt, iv, pc)
+}

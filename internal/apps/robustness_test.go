@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"testing"
+
+	"sentomist/internal/core"
+	"sentomist/internal/dev"
+)
+
+// TestCaseIIRobustAcrossSeeds: the headline result must not hinge on one
+// lucky seed. Across ten independent Case-II runs, whenever busy-drops
+// occur at all, a human inspecting the top five ranked intervals must
+// encounter at least one of them — the paper's success criterion (its own
+// Case III surfaced the symptom at rank 4, behind three fine-looking
+// instances). Rare-but-legitimate interleavings may outrank individual
+// drop instances; discovering the bug is what matters.
+func TestCaseIIRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	runsWithDrops := 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		run, err := RunForwarder(ForwarderConfig{Seconds: 20, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ranking, err := core.Mine(
+			[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+			core.Config{IRQ: dev.IRQRadioRX, Nodes: []int{FwdRelayID}},
+		)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		symptomatic := 0
+		for _, s := range ranking.Samples {
+			if CaseIISymptom(run, s.Interval) {
+				symptomatic++
+			}
+		}
+		if symptomatic == 0 {
+			continue
+		}
+		runsWithDrops++
+		rank := ranking.RankOf(func(s core.Sample) bool {
+			return CaseIISymptom(run, s.Interval)
+		})
+		if rank == 0 || rank > 5 {
+			t.Errorf("seed %d: first of %d drops at rank %d, outside the top-5 inspection budget",
+				seed, symptomatic, rank)
+		}
+	}
+	t.Logf("%d/10 seeds produced busy-drops; all discovered within the top 5", runsWithDrops)
+	if runsWithDrops < 5 {
+		t.Errorf("only %d/10 seeds triggered the bug; the workload drifted", runsWithDrops)
+	}
+}
+
+// TestCaseIRobustAcrossSeeds: same property for the data-pollution race at
+// D = 20 ms: every polluted interval ranks above every normal one.
+func TestCaseIRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	runsWithRaces := 0
+	for seed := uint64(1); seed <= 8; seed++ {
+		run, err := RunOscilloscope(OscConfig{PeriodMS: 20, Seconds: 10, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ranking, err := core.Mine(
+			[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+			core.Config{IRQ: dev.IRQADC, Nodes: []int{OscSensorID}},
+		)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		symptomatic := 0
+		for _, s := range ranking.Samples {
+			if CaseISymptom(run, s.Interval) {
+				symptomatic++
+			}
+		}
+		if symptomatic == 0 {
+			continue
+		}
+		runsWithRaces++
+		for i := 0; i < symptomatic; i++ {
+			if !CaseISymptom(run, ranking.Samples[i].Interval) {
+				t.Errorf("seed %d: rank %d not symptomatic though %d races exist",
+					seed, i+1, symptomatic)
+			}
+		}
+	}
+	t.Logf("%d/8 seeds produced races; all ranked top-k", runsWithRaces)
+	if runsWithRaces < 4 {
+		t.Errorf("only %d/8 seeds triggered the race", runsWithRaces)
+	}
+}

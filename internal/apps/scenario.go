@@ -1,0 +1,99 @@
+package apps
+
+import (
+	"fmt"
+
+	"sentomist/internal/asm"
+)
+
+// Scenario is the generic front door for user-defined experiments: write
+// SVM-8 assembly, wire nodes and radio links, run, and mine the trace. The
+// three case studies are built on the same machinery.
+type Scenario struct {
+	b    *builder
+	done bool
+}
+
+// NodeSpec describes one node of a scenario.
+type NodeSpec struct {
+	// ID is the node's address on the radio medium.
+	ID int
+	// Source is the node's SVM-8 assembly program.
+	Source string
+	// Timer0, Timer1, ADC, Radio select the attached devices.
+	Timer0, Timer1, ADC, Radio bool
+	// RAMInit pre-seeds .var variables by name before boot (per-node
+	// configuration for shared binaries).
+	RAMInit map[string]uint8
+	// FuzzIRQs, when non-empty, attaches a random-interrupt test driver
+	// (Regehr-style) raising these IRQs at random times with gaps in
+	// [FuzzMinGap, FuzzMaxGap] cycles (defaults: 200 and 4000).
+	FuzzIRQs   []int
+	FuzzMinGap uint64
+	FuzzMaxGap uint64
+	// Sequential runs this node under TOSSIM-like discrete-event
+	// semantics: no preemption, event procedures execute atomically.
+	Sequential bool
+}
+
+// NewScenario creates an empty scenario whose randomness derives from seed.
+func NewScenario(seed uint64) *Scenario {
+	return &Scenario{b: newBuilder(seed)}
+}
+
+// AddNode assembles the node's source and attaches the requested devices.
+func (s *Scenario) AddNode(spec NodeSpec) error {
+	if s.done {
+		return fmt.Errorf("apps: scenario already ran")
+	}
+	if _, dup := s.b.run.Nodes[spec.ID]; dup {
+		return fmt.Errorf("apps: duplicate node %d", spec.ID)
+	}
+	prog, err := assembleWithPrelude(spec.Source)
+	if err != nil {
+		return fmt.Errorf("apps: node %d: %w", spec.ID, err)
+	}
+	ram := make(map[uint16]uint8, len(spec.RAMInit))
+	for name, v := range spec.RAMInit {
+		addr, ok := prog.Vars[name]
+		if !ok {
+			return fmt.Errorf("apps: node %d: RAMInit names unknown .var %q", spec.ID, name)
+		}
+		ram[addr] = v
+	}
+	_, err = s.b.addNode(spec.ID, prog, nodeOpts{
+		timer0:     spec.Timer0,
+		timer1:     spec.Timer1,
+		adc:        spec.ADC,
+		radio:      spec.Radio,
+		ramInit:    ram,
+		fuzzIRQs:   spec.FuzzIRQs,
+		fuzzMin:    spec.FuzzMinGap,
+		fuzzMax:    spec.FuzzMaxGap,
+		sequential: spec.Sequential,
+	})
+	return err
+}
+
+// Link declares a symmetric radio link between nodes a and b with the given
+// frame-loss probability.
+func (s *Scenario) Link(a, b int, lossProb float64) {
+	s.b.net.AddSymmetricLink(a, b, lossProb)
+}
+
+// Run executes the scenario for the given wall-clock seconds of simulated
+// time and returns the collected run. A scenario runs once.
+func (s *Scenario) Run(seconds float64) (*Run, error) {
+	if s.done {
+		return nil, fmt.Errorf("apps: scenario already ran")
+	}
+	s.done = true
+	return s.b.execute(seconds)
+}
+
+// assembleWithPrelude assembles source with the shared hardware .equ map
+// prepended, so user programs can name ports (T0_CTRL, TX_FIFO, ...) and
+// commands without redefining them.
+func assembleWithPrelude(source string) (*asm.Result, error) {
+	return asm.String(prelude + source)
+}

@@ -1,0 +1,118 @@
+package asm
+
+import (
+	"testing"
+
+	"sentomist/internal/isa"
+	"sentomist/internal/randx"
+)
+
+// randomProgram builds a structurally valid random program: straight-line
+// register/memory/ALU instructions with occasional local branches, ending
+// in HALT, plus random vectors and tasks pointing at RETI/RET stubs.
+func randomProgram(rng *randx.RNG) *isa.Program {
+	n := 10 + rng.Intn(60)
+	code := make([]isa.Instr, 0, n+8)
+	straightOps := []isa.Op{
+		isa.NOP, isa.MOV, isa.LDI, isa.LDS, isa.STS, isa.LDX, isa.STX,
+		isa.ADD, isa.ADC, isa.SUB, isa.SBC, isa.AND, isa.OR, isa.XOR,
+		isa.ADDI, isa.SUBI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.CP, isa.CPI, isa.INC, isa.DEC, isa.SHL, isa.SHR,
+		isa.PUSH, isa.POP, isa.IN, isa.OUT, isa.SEI, isa.CLI,
+	}
+	for len(code) < n {
+		op := straightOps[rng.Intn(len(straightOps))]
+		in := isa.Instr{Op: op}
+		switch op.Spec().Format {
+		case isa.FmtRdRs:
+			in.A, in.B = uint8(rng.Intn(16)), uint8(rng.Intn(16))
+		case isa.FmtRdImm8, isa.FmtRdPort:
+			in.A, in.Imm = uint8(rng.Intn(16)), uint16(rng.Intn(256))
+		case isa.FmtRdAddr:
+			in.A, in.Imm = uint8(rng.Intn(16)), uint16(rng.Intn(isa.RAMSize))
+		case isa.FmtAddrRs, isa.FmtPortRs:
+			in.B = uint8(rng.Intn(16))
+			if op.Spec().Format == isa.FmtAddrRs {
+				in.Imm = uint16(rng.Intn(isa.RAMSize))
+			} else {
+				in.Imm = uint16(rng.Intn(256))
+			}
+		case isa.FmtRdAddrRi, isa.FmtAddrRiRs:
+			in.A, in.B = uint8(rng.Intn(16)), uint8(rng.Intn(16))
+			in.Imm = uint16(rng.Intn(isa.RAMSize - 256))
+		case isa.FmtRd:
+			in.A = uint8(rng.Intn(16))
+		case isa.FmtRs:
+			in.B = uint8(rng.Intn(16))
+		}
+		code = append(code, in)
+		// Occasionally branch to a random earlier-or-later slot within
+		// the final image (resolved below to stay in bounds).
+		if rng.Bool(0.12) {
+			brOps := []isa.Op{isa.JMP, isa.BREQ, isa.BRNE, isa.BRCS, isa.BRCC, isa.BRLT, isa.BRGE, isa.CALL}
+			code = append(code, isa.Instr{Op: brOps[rng.Intn(len(brOps))]})
+		}
+	}
+	code = append(code, isa.Instr{Op: isa.HALT})
+	isrAt := uint16(len(code))
+	code = append(code, isa.Instr{Op: isa.RETI})
+	taskAt := uint16(len(code))
+	code = append(code, isa.Instr{Op: isa.POST, Imm: 0}, isa.Instr{Op: isa.RET})
+
+	// Resolve branch targets now that the image size is known.
+	for i := range code {
+		switch code[i].Op {
+		case isa.JMP, isa.BREQ, isa.BRNE, isa.BRCS, isa.BRCC, isa.BRLT, isa.BRGE, isa.CALL:
+			if code[i].Imm == 0 {
+				code[i].Imm = uint16(rng.Intn(len(code)))
+			}
+		}
+	}
+	p := &isa.Program{
+		Code:    code,
+		Entry:   0,
+		Vectors: map[int]uint16{1 + rng.Intn(5): isrAt},
+		Tasks:   map[int]uint16{rng.Intn(4): taskAt},
+	}
+	return p
+}
+
+// TestRandomProgramDisassembleRoundTrip: for random valid programs,
+// assemble(disassemble(p)) reproduces the exact code image, vectors,
+// tasks, and entry.
+func TestRandomProgramDisassembleRoundTrip(t *testing.T) {
+	rng := randx.New(2024)
+	for trial := 0; trial < 200; trial++ {
+		p := randomProgram(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated program invalid: %v", trial, err)
+		}
+		text := p.Disassemble()
+		re, err := String(text)
+		if err != nil {
+			t.Fatalf("trial %d: reassemble: %v\n%s", trial, err, text)
+		}
+		q := re.Program
+		if len(q.Code) != len(p.Code) {
+			t.Fatalf("trial %d: %d instructions, want %d", trial, len(q.Code), len(p.Code))
+		}
+		for pc := range p.Code {
+			if p.Code[pc] != q.Code[pc] {
+				t.Fatalf("trial %d: instr %#04x: %v != %v", trial, pc, q.Code[pc], p.Code[pc])
+			}
+		}
+		if q.Entry != p.Entry {
+			t.Fatalf("trial %d: entry %d != %d", trial, q.Entry, p.Entry)
+		}
+		for irq, addr := range p.Vectors {
+			if q.Vectors[irq] != addr {
+				t.Fatalf("trial %d: vector %d: %d != %d", trial, irq, q.Vectors[irq], addr)
+			}
+		}
+		for id, addr := range p.Tasks {
+			if q.Tasks[id] != addr {
+				t.Fatalf("trial %d: task %d: %d != %d", trial, id, q.Tasks[id], addr)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package bundle
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sentomist/internal/isa"
+	"sentomist/internal/trace"
+)
+
+func sampleBundle() *Bundle {
+	prog := &isa.Program{
+		Code: []isa.Instr{
+			{Op: isa.SEI},
+			{Op: isa.OSRUN},
+			{Op: isa.RETI},
+		},
+		Vectors: map[int]uint16{1: 2},
+	}
+	return &Bundle{
+		Trace: &trace.Trace{
+			Seed: 9,
+			Nodes: []*trace.NodeTrace{{
+				NodeID:     1,
+				ProgramLen: 3,
+				Markers: []trace.Marker{
+					{Kind: trace.Int, Arg: 1, Cycle: 10},
+					{Kind: trace.Reti, Cycle: 20, Deltas: []trace.Delta{{PC: 2, Count: 1}}},
+				},
+			}},
+		},
+		Programs: map[int]*isa.Program{1: prog},
+		Vars:     map[int]map[string]uint16{1: {"x": 0x40}},
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := sampleBundle()
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.Seed != 9 || len(got.Programs) != 1 || got.Vars[1]["x"] != 0x40 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if len(got.Programs[1].Code) != 3 {
+		t.Fatal("program lost")
+	}
+}
+
+func TestBundleFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.bundle")
+	if err := sampleBundle().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBundleValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Bundle)
+		want   string
+	}{
+		{"no trace", func(b *Bundle) { b.Trace = nil }, "no trace"},
+		{"missing program", func(b *Bundle) { delete(b.Programs, 1) }, "no program"},
+		{"length mismatch", func(b *Bundle) { b.Trace.Nodes[0].ProgramLen = 7 }, "expects 7"},
+		{"invalid trace", func(b *Bundle) { b.Trace.Nodes[0].Markers[0].Kind = 99 }, "bad kind"},
+		{"var outside RAM", func(b *Bundle) { b.Vars[1]["x"] = 0xffff }, "outside RAM"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := sampleBundle()
+			tt.mutate(b)
+			err := b.Validate()
+			if err == nil {
+				t.Fatal("mutated bundle accepted")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not contain %q", err, tt.want)
+			}
+			var buf bytes.Buffer
+			if werr := b.Write(&buf); werr == nil {
+				t.Fatal("Write accepted an invalid bundle")
+			}
+		})
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("definitely not a bundle")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("SENTBDL1corrupt")); err == nil {
+		t.Fatal("corrupt body accepted")
+	}
+}

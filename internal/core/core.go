@@ -1,0 +1,255 @@
+// Package core is Sentomist's bug-symptom mining pipeline (the paper's
+// Figure 3): take the traces of one or more testing runs, anatomize them
+// into event-handling intervals, feature each interval as an instruction
+// counter, score every sample with a plug-in outlier detector, and emit the
+// ascending ranking that directs manual inspection.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sentomist/internal/feature"
+	"sentomist/internal/isa"
+	"sentomist/internal/lifecycle"
+	"sentomist/internal/outlier"
+	"sentomist/internal/trace"
+)
+
+// FeatureKind selects how intervals are featured.
+type FeatureKind uint8
+
+// Feature kinds. FeatureCounter is the paper's Definition 4; the others
+// exist for the ablation experiments.
+const (
+	FeatureCounter FeatureKind = iota + 1
+	FeatureFuncCount
+	FeatureDuration
+	FeatureStackDepth
+)
+
+// LabelStyle selects how samples are labeled in rankings, mirroring the
+// paper's three tables: [r, s] with the run index (Fig. 5a), a bare
+// chronological index (Fig. 5b), or [n, s] with the node ID (Fig. 5c).
+type LabelStyle uint8
+
+// Label styles.
+const (
+	LabelRunSeq LabelStyle = iota + 1
+	LabelSeqOnly
+	LabelNodeSeq
+)
+
+// RunInput is one testing run to mine.
+type RunInput struct {
+	Trace *trace.Trace
+	// Programs maps node ID to its binary; needed only for
+	// FeatureFuncCount.
+	Programs map[int]*isa.Program
+}
+
+// Config parameterizes mining.
+type Config struct {
+	// IRQ is the event type whose intervals are mined.
+	IRQ int
+	// Nodes restricts mining to these node IDs; nil means all nodes.
+	Nodes []int
+	// Detector defaults to the one-class SVM.
+	Detector outlier.Detector
+	// Feature defaults to FeatureCounter.
+	Feature FeatureKind
+	// Labels defaults to LabelRunSeq.
+	Labels LabelStyle
+}
+
+// Sample is one scored event-handling interval.
+type Sample struct {
+	// Run is the 1-based index of the testing run the sample came from.
+	Run int
+	// Interval identifies the event-procedure instance.
+	Interval lifecycle.Interval
+	// Score is the detector's normalized score; lower = more suspicious.
+	Score float64
+}
+
+// Label renders the sample index in the requested style.
+func (s Sample) Label(style LabelStyle) string {
+	switch style {
+	case LabelSeqOnly:
+		return fmt.Sprintf("%d", s.Interval.Seq)
+	case LabelNodeSeq:
+		return fmt.Sprintf("[%d, %d]", s.Interval.Node, s.Interval.Seq)
+	default:
+		return fmt.Sprintf("[%d, %d]", s.Run, s.Interval.Seq)
+	}
+}
+
+// Ranking is the pipeline's output: samples ascending by score (most
+// suspicious first), ready for top-k manual inspection.
+type Ranking struct {
+	Detector string
+	Labels   LabelStyle
+	Samples  []Sample
+	// Excluded counts intervals dropped because the run ended before
+	// the instance completed.
+	Excluded int
+	// Dim is the feature dimensionality.
+	Dim int
+}
+
+// Top returns the k most suspicious samples (fewer if the ranking is
+// shorter).
+func (r *Ranking) Top(k int) []Sample {
+	if k > len(r.Samples) {
+		k = len(r.Samples)
+	}
+	return r.Samples[:k]
+}
+
+// RankOf returns the 1-based rank of the first sample satisfying pred, or
+// 0 when none does.
+func (r *Ranking) RankOf(pred func(Sample) bool) int {
+	for i, s := range r.Samples {
+		if pred(s) {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Table renders the top and bottom of the ranking the way the paper's
+// Figure 5 prints it.
+func (r *Ranking) Table(top, bottom int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s\n", "Instance", "Score")
+	n := len(r.Samples)
+	if top > n {
+		top = n
+	}
+	for _, s := range r.Samples[:top] {
+		fmt.Fprintf(&b, "%-14s %10.4f\n", s.Label(r.Labels), s.Score)
+	}
+	if bottom > 0 && top < n {
+		fmt.Fprintf(&b, "%-14s %10s\n", "...", "...")
+		start := n - bottom
+		if start < top {
+			start = top
+		}
+		for _, s := range r.Samples[start:] {
+			fmt.Fprintf(&b, "%-14s %10.4f\n", s.Label(r.Labels), s.Score)
+		}
+	}
+	return b.String()
+}
+
+// ErrNoIntervals is returned when no complete interval of the requested
+// event type exists in the input runs.
+var ErrNoIntervals = errors.New("core: no complete intervals of the requested event type")
+
+// Mine runs the full pipeline over the given testing runs.
+func Mine(runs []RunInput, cfg Config) (*Ranking, error) {
+	if cfg.IRQ == 0 {
+		return nil, fmt.Errorf("core: config must name the IRQ to mine")
+	}
+	det := cfg.Detector
+	if det == nil {
+		det = outlier.OneClassSVM{}
+	}
+	feat := cfg.Feature
+	if feat == 0 {
+		feat = FeatureCounter
+	}
+	labels := cfg.Labels
+	if labels == 0 {
+		labels = LabelRunSeq
+	}
+
+	allowed := map[int]bool{}
+	for _, id := range cfg.Nodes {
+		allowed[id] = true
+	}
+
+	var samples []Sample
+	var vectors [][]float64
+	excluded := 0
+	for ri, run := range runs {
+		if run.Trace == nil {
+			return nil, fmt.Errorf("core: run %d has no trace", ri+1)
+		}
+		ext := feature.NewExtractor(run.Trace)
+		for _, nt := range run.Trace.Nodes {
+			if len(allowed) > 0 && !allowed[nt.NodeID] {
+				continue
+			}
+			seq := lifecycle.NewSequence(nt)
+			ivs, err := seq.Extract()
+			if err != nil {
+				return nil, fmt.Errorf("core: run %d node %d: %w", ri+1, nt.NodeID, err)
+			}
+			for _, iv := range ivs {
+				if iv.IRQ != cfg.IRQ {
+					continue
+				}
+				if !iv.Complete {
+					excluded++
+					continue
+				}
+				v, err := extractFeature(ext, run, feat, iv)
+				if err != nil {
+					return nil, fmt.Errorf("core: run %d node %d: %w", ri+1, nt.NodeID, err)
+				}
+				samples = append(samples, Sample{Run: ri + 1, Interval: iv})
+				vectors = append(vectors, v)
+			}
+		}
+	}
+	if len(vectors) == 0 {
+		return nil, ErrNoIntervals
+	}
+	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("core: sample %d has %d dims, want %d — runs use different binaries", i, len(v), dim)
+		}
+	}
+
+	feature.Scale01(vectors)
+	scores, err := det.Score(vectors)
+	if err != nil {
+		return nil, fmt.Errorf("core: detector %s: %w", det.Name(), err)
+	}
+	order := outlier.Rank(scores)
+	ranked := make([]Sample, len(order))
+	for pos, idx := range order {
+		s := samples[idx]
+		s.Score = scores[idx]
+		ranked[pos] = s
+	}
+	return &Ranking{
+		Detector: det.Name(),
+		Labels:   labels,
+		Samples:  ranked,
+		Excluded: excluded,
+		Dim:      dim,
+	}, nil
+}
+
+func extractFeature(ext *feature.Extractor, run RunInput, feat FeatureKind, iv lifecycle.Interval) ([]float64, error) {
+	switch feat {
+	case FeatureCounter:
+		return ext.Counter(iv)
+	case FeatureFuncCount:
+		prog := run.Programs[iv.Node]
+		if prog == nil {
+			return nil, fmt.Errorf("no program for node %d (FeatureFuncCount needs Programs)", iv.Node)
+		}
+		return ext.FuncCounter(prog, iv)
+	case FeatureDuration:
+		return ext.Duration(iv), nil
+	case FeatureStackDepth:
+		return ext.StackDepth(iv)
+	default:
+		return nil, fmt.Errorf("unknown feature kind %d", feat)
+	}
+}

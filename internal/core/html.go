@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"sentomist/internal/isa"
+)
+
+// HTMLConfig parameterizes HTMLReport.
+type HTMLConfig struct {
+	// Title heads the page; default "Sentomist report".
+	Title string
+	// TopDetails is how many top-ranked intervals get a full inspection
+	// section (window, symbol counts, annotated listing); default 3.
+	TopDetails int
+	// MaxRows caps the ranking table; default 100 (0 keeps all).
+	MaxRows int
+}
+
+type htmlRow struct {
+	Rank       int
+	Label      string
+	Score      string
+	Suspicious bool
+	Node       int
+	Duration   uint64
+}
+
+type htmlDetail struct {
+	Rank    int
+	Label   string
+	Window  string
+	Listing string
+	Symbols []SymbolCount
+}
+
+type htmlData struct {
+	Title      string
+	Detector   string
+	Samples    int
+	Dim        int
+	Excluded   int
+	Rows       []htmlRow
+	Truncated  int
+	Details    []htmlDetail
+	Suspicions []LineSuspicion
+}
+
+const htmlTemplate = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #222; }
+ h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+ table { border-collapse: collapse; margin: 0.6rem 0; }
+ th, td { padding: 0.25rem 0.8rem; border-bottom: 1px solid #ddd; text-align: left; font-variant-numeric: tabular-nums; }
+ tr.sus { background: #fff0f0; font-weight: 600; }
+ pre { background: #f7f7f7; padding: 0.8rem; overflow-x: auto; font-size: 0.85rem; }
+ .meta { color: #666; }
+ .only { color: #b00; font-weight: 700; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="meta">{{.Samples}} event-handling intervals · {{.Dim}}-dimensional instruction counters ·
+detector {{.Detector}}{{if .Excluded}} · {{.Excluded}} incomplete intervals excluded{{end}}</p>
+
+<h2>Suspicion ranking (most suspicious first)</h2>
+<table>
+<tr><th>Rank</th><th>Instance</th><th>Score</th><th>Node</th><th>Duration (µs)</th></tr>
+{{range .Rows}}<tr{{if .Suspicious}} class="sus"{{end}}><td>{{.Rank}}</td><td>{{.Label}}</td><td>{{.Score}}</td><td>{{.Node}}</td><td>{{.Duration}}</td></tr>
+{{end}}</table>
+{{if .Truncated}}<p class="meta">… {{.Truncated}} more rows omitted.</p>{{end}}
+
+{{range .Details}}
+<h2>Rank {{.Rank}} — instance {{.Label}}</h2>
+<p>Lifecycle window: <code>{{.Window}}</code></p>
+<table>
+<tr><th>Function</th><th>Instructions executed</th></tr>
+{{range .Symbols}}<tr><td>{{.Symbol}}</td><td>{{.Count}}</td></tr>
+{{end}}</table>
+<pre>{{.Listing}}</pre>
+{{end}}
+
+{{if .Suspicions}}
+<h2>Symptom-to-source localization</h2>
+<table>
+<tr><th>Location</th><th>Score</th><th>Suspect mean</th><th>Normal mean</th><th></th></tr>
+{{range .Suspicions}}<tr><td>{{.Symbol}}{{if .Line}}:{{.Line}}{{end}}</td><td>{{printf "%.2f" .Score}}</td><td>{{printf "%.1f" .SuspectMean}}</td><td>{{printf "%.1f" .NormalMean}}</td><td>{{if .OnlySuspect}}<span class="only">suspect-only path</span>{{end}}</td></tr>
+{{end}}</table>
+{{end}}
+</body>
+</html>
+`
+
+var htmlTmpl = template.Must(template.New("report").Parse(htmlTemplate))
+
+// HTMLReport renders a ranking as a self-contained HTML page: the full
+// suspicion table, a detailed inspection of the top intervals, and the
+// symptom-to-source localization. All intervals must come from nodes
+// running prog.
+func HTMLReport(w io.Writer, runs []RunInput, ranking *Ranking, prog *isa.Program, cfg HTMLConfig) error {
+	if len(ranking.Samples) == 0 {
+		return fmt.Errorf("core: empty ranking")
+	}
+	title := cfg.Title
+	if title == "" {
+		title = "Sentomist report"
+	}
+	topDetails := cfg.TopDetails
+	if topDetails <= 0 {
+		topDetails = 3
+	}
+	maxRows := cfg.MaxRows
+	if maxRows == 0 {
+		maxRows = 100
+	}
+
+	data := htmlData{
+		Title:    title,
+		Detector: ranking.Detector,
+		Samples:  len(ranking.Samples),
+		Dim:      ranking.Dim,
+		Excluded: ranking.Excluded,
+	}
+	for i, s := range ranking.Samples {
+		if maxRows > 0 && i >= maxRows {
+			data.Truncated = len(ranking.Samples) - maxRows
+			break
+		}
+		data.Rows = append(data.Rows, htmlRow{
+			Rank:       i + 1,
+			Label:      s.Label(ranking.Labels),
+			Score:      fmt.Sprintf("%.4f", s.Score),
+			Suspicious: s.Score < -1e-4,
+			Node:       s.Interval.Node,
+			Duration:   s.Interval.Duration(),
+		})
+	}
+
+	for i, s := range ranking.Top(topDetails) {
+		run := runs[s.Run-1]
+		window, err := DescribeInterval(run.Trace, s.Interval)
+		if err != nil {
+			return err
+		}
+		symbols, err := SymbolCounts(run.Trace, prog, s.Interval)
+		if err != nil {
+			return err
+		}
+		listing, err := AnnotatedListing(run.Trace, prog, s.Interval)
+		if err != nil {
+			return err
+		}
+		data.Details = append(data.Details, htmlDetail{
+			Rank:    i + 1,
+			Label:   s.Label(ranking.Labels),
+			Window:  window,
+			Listing: listing,
+			Symbols: symbols,
+		})
+	}
+
+	if suspicions, err := Localize(runs, ranking, prog, LocalizeConfig{MaxResults: 12}); err == nil {
+		data.Suspicions = suspicions
+	}
+	return htmlTmpl.Execute(w, data)
+}

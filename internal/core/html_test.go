@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLReport(t *testing.T) {
+	tr := localizableTrace(50, 3)
+	inputs := []RunInput{{Trace: tr}}
+	ranking, err := Mine(inputs, Config{IRQ: 1, Labels: LabelSeqOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err = HTMLReport(&b, inputs, ranking, localizableProg(), HTMLConfig{
+		Title:      "test report",
+		TopDetails: 2,
+		MaxRows:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := b.String()
+	for _, want := range []string{
+		"<title>test report</title>",
+		"Suspicion ranking",
+		"Rank 1",
+		"Lifecycle window",
+		"Symptom-to-source localization",
+		"buggy_path",
+		"suspect-only path",
+		"more rows omitted",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Count(html, "<h2>Rank") != 2 {
+		t.Errorf("want 2 detail sections, got %d", strings.Count(html, "<h2>Rank"))
+	}
+}
+
+func TestHTMLReportEmptyRanking(t *testing.T) {
+	var b strings.Builder
+	if err := HTMLReport(&b, nil, &Ranking{}, localizableProg(), HTMLConfig{}); err == nil {
+		t.Fatal("empty ranking accepted")
+	}
+}
+
+func TestHTMLReportEscapesContent(t *testing.T) {
+	tr := localizableTrace(20, 2)
+	inputs := []RunInput{{Trace: tr}}
+	ranking, err := Mine(inputs, Config{IRQ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := localizableProg()
+	prog.Symbols[5] = []string{"<script>alert(1)</script>"}
+	var b strings.Builder
+	if err := HTMLReport(&b, inputs, ranking, prog, HTMLConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<script>alert") {
+		t.Fatal("symbol content not escaped")
+	}
+}

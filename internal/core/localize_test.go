@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sentomist/internal/isa"
+	"sentomist/internal/lifecycle"
+	"sentomist/internal/trace"
+)
+
+// localizableTrace builds a trace where most IRQ-1 instances execute the
+// "normal" instructions (pc 1..3) and a few anomalous ones additionally
+// execute a distinct path (pc 6, the planted buggy line).
+func localizableTrace(normal, anomalous int) *trace.Trace {
+	var ms []trace.Marker
+	cycle := uint64(10)
+	add := func(kind trace.Kind, arg int, deltas ...trace.Delta) {
+		ms = append(ms, trace.Marker{Kind: kind, Arg: arg, Cycle: cycle, Deltas: deltas})
+		cycle += 10
+	}
+	for i := 0; i < normal; i++ {
+		add(trace.Int, 1)
+		// Mild natural variation so the normal manifold is not a
+		// single point (which would degenerate the SVM geometry).
+		add(trace.Reti, 0,
+			trace.Delta{PC: 1, Count: 2},
+			trace.Delta{PC: 2, Count: 5 + uint32(i%3)},
+			trace.Delta{PC: 3, Count: 1 + uint32(i%2)})
+	}
+	for i := 0; i < anomalous; i++ {
+		add(trace.Int, 1)
+		// The buggy path touches several distinct instructions, like a
+		// real error branch; a single-dimension deviation would drown
+		// in the natural variation above.
+		add(trace.Reti, 0,
+			trace.Delta{PC: 1, Count: 2}, trace.Delta{PC: 2, Count: 9},
+			trace.Delta{PC: 3, Count: 1},
+			trace.Delta{PC: 5, Count: 3}, trace.Delta{PC: 6, Count: 4},
+			trace.Delta{PC: 7, Count: 2})
+	}
+	return &trace.Trace{Nodes: []*trace.NodeTrace{{
+		NodeID:     1,
+		ProgramLen: 8,
+		Markers:    ms,
+	}}}
+}
+
+func localizableProg() *isa.Program {
+	return &isa.Program{
+		Code: make([]isa.Instr, 8),
+		Symbols: map[uint16][]string{
+			0: {"handler"},
+			5: {"buggy_path"},
+		},
+		Lines: map[uint16]int{6: 42},
+	}
+}
+
+func TestLocalizeFlagsPlantedPath(t *testing.T) {
+	tr := localizableTrace(50, 3)
+	inputs := []RunInput{{Trace: tr}}
+	ranking, err := Mine(inputs, Config{IRQ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspicions, err := Localize(inputs, ranking, localizableProg(), LocalizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suspicions) == 0 {
+		t.Fatal("nothing localized")
+	}
+	top := suspicions[0]
+	if top.PC != 6 || top.Symbol != "buggy_path" || !top.OnlySuspect {
+		t.Fatalf("top suspicion %+v, want the planted pc 6", top)
+	}
+	if top.Line != 42 {
+		t.Fatalf("line %d, want 42", top.Line)
+	}
+	report := LocalizeReport(suspicions)
+	if !strings.Contains(report, "buggy_path:42 *") {
+		t.Fatalf("report missing the planted line:\n%s", report)
+	}
+	if !strings.Contains(suspicions[0].String(), "suspect-only") {
+		t.Fatalf("String() missing the suspect-only marker: %s", suspicions[0])
+	}
+}
+
+func TestLocalizeExplicitSuspectCount(t *testing.T) {
+	tr := localizableTrace(50, 3)
+	inputs := []RunInput{{Trace: tr}}
+	ranking, err := Mine(inputs, Config{IRQ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspicions, err := Localize(inputs, ranking, localizableProg(), LocalizeConfig{SuspectCount: 10, MaxResults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suspicions) > 3 {
+		t.Fatalf("MaxResults not honored: %d rows", len(suspicions))
+	}
+	if suspicions[0].PC != 6 {
+		t.Fatalf("top pc %d", suspicions[0].PC)
+	}
+}
+
+func TestLocalizeNoSuspects(t *testing.T) {
+	// A ranking where every score sits on the normal side must refuse
+	// default localization (nothing to attribute symptoms to).
+	tr := localizableTrace(20, 0)
+	inputs := []RunInput{{Trace: tr}}
+	ivs := mustExtract(t, tr)
+	ranking := &Ranking{Labels: LabelSeqOnly}
+	for _, iv := range ivs {
+		ranking.Samples = append(ranking.Samples, Sample{Run: 1, Interval: iv, Score: 0.5})
+	}
+	if _, err := Localize(inputs, ranking, localizableProg(), LocalizeConfig{}); err == nil {
+		t.Fatal("localization without suspects accepted")
+	}
+}
+
+func TestLocalizeDimensionMismatch(t *testing.T) {
+	tr := localizableTrace(20, 2)
+	inputs := []RunInput{{Trace: tr}}
+	ranking, err := Mine(inputs, Config{IRQ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongProg := &isa.Program{Code: make([]isa.Instr, 4)}
+	if _, err := Localize(inputs, ranking, wrongProg, LocalizeConfig{SuspectCount: 1}); err == nil {
+		t.Fatal("mismatched program accepted")
+	}
+}
+
+func TestAnnotatedListing(t *testing.T) {
+	tr := localizableTrace(1, 1)
+	prog := localizableProg()
+	prog.Code[1] = isa.Instr{Op: isa.LDI, A: 0, Imm: 7}
+	prog.Code[6] = isa.Instr{Op: isa.INC, A: 2}
+	ivs := mustExtract(t, tr)
+	listing, err := AnnotatedListing(tr, prog, ivs[1]) // the anomalous one
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"handler:", "buggy_path:", "ldi r0, 7", "inc r2", "; line 42", "4×"} {
+		if !strings.Contains(listing, want) {
+			t.Fatalf("listing missing %q:\n%s", want, listing)
+		}
+	}
+	// Unexecuted instructions are elided.
+	if strings.Contains(listing, "0x0004") {
+		t.Fatalf("listing contains never-executed pc:\n%s", listing)
+	}
+}
+
+func mustExtract(t *testing.T, tr *trace.Trace) []lifecycle.Interval {
+	t.Helper()
+	ivs, err := lifecycle.ExtractTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ivs
+}

@@ -1,0 +1,99 @@
+package dev
+
+import "sentomist/internal/randx"
+
+// ADCLatency is the conversion time in cycles (~100 µs at the 1 MHz clock),
+// matching the order of magnitude of a real successive-approximation ADC.
+const ADCLatency = 100
+
+// Sensor produces the physical signal an ADC samples. Implementations must
+// be deterministic functions of their own state and the sample time.
+type Sensor interface {
+	// Sample returns the 8-bit reading at the given cycle time.
+	Sample(cycle uint64) uint8
+}
+
+// WalkSensor is a bounded pseudo-random walk around a base value — a
+// plausible stand-in for slowly varying environmental data such as
+// temperature (the paper's Oscilloscope workload).
+type WalkSensor struct {
+	rng   *randx.RNG
+	value float64
+	min   float64
+	max   float64
+	step  float64
+}
+
+// NewWalkSensor creates a walk starting at base, stepping ±step per sample,
+// clamped to [min, max].
+func NewWalkSensor(rng *randx.RNG, base, step, min, max float64) *WalkSensor {
+	return &WalkSensor{rng: rng, value: base, min: min, max: max, step: step}
+}
+
+// Sample implements Sensor.
+func (s *WalkSensor) Sample(cycle uint64) uint8 {
+	s.value += (s.rng.Float64()*2 - 1) * s.step
+	if s.value < s.min {
+		s.value = s.min
+	}
+	if s.value > s.max {
+		s.value = s.max
+	}
+	return uint8(s.value)
+}
+
+// ADC models an analog-to-digital converter: writing 1 to its control port
+// starts a conversion; ADCLatency cycles later it latches a sensor sample
+// and raises IRQADC (the data-ready interrupt the Figure-2 event procedure
+// handles).
+type ADC struct {
+	line   IRQLine
+	sensor Sensor
+
+	busy      bool
+	readyAt   uint64
+	lastValue uint8
+}
+
+// NewADC creates an ADC raising IRQADC on line and sampling sensor.
+func NewADC(line IRQLine, sensor Sensor) *ADC {
+	return &ADC{line: line, sensor: sensor}
+}
+
+// NextEvent implements Device.
+func (a *ADC) NextEvent() (uint64, bool) {
+	if !a.busy {
+		return 0, false
+	}
+	return a.readyAt, true
+}
+
+// Advance implements Device.
+func (a *ADC) Advance(cycle uint64) {
+	if a.busy && a.readyAt <= cycle {
+		a.busy = false
+		a.lastValue = a.sensor.Sample(a.readyAt)
+		a.line.Raise(IRQADC)
+	}
+}
+
+// In implements Device.
+func (a *ADC) In(port uint8, now uint64) (uint8, bool) {
+	if port != PortADCData {
+		return 0, false
+	}
+	return a.lastValue, true
+}
+
+// Out implements Device. Starting a conversion while one is in flight is
+// ignored, like on real hardware.
+func (a *ADC) Out(port uint8, v uint8, now uint64) bool {
+	if port != PortADCCtrl {
+		return false
+	}
+	if v != 0 && !a.busy {
+		a.busy = true
+		a.readyAt = now + ADCLatency
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+// Package dev models the sensor-node hardware that surrounds the MCU: the
+// timers, the ADC with its sensor, and the radio front end. Each device sits
+// on the I/O port bus and raises interrupts through an IRQ line, exactly the
+// three interrupt sources the paper's case studies exercise (timer, ADC, and
+// SPI/radio).
+//
+// Devices are driven by the node's Advance calls with the global cycle
+// clock; they never run goroutines, so simulation stays deterministic.
+package dev
+
+// IRQ numbers. Lower numbers have higher dispatch priority.
+const (
+	IRQTimer0  = 1 // data-report / sampling timer
+	IRQTimer1  = 2 // auxiliary timer (heartbeat protocol)
+	IRQADC     = 3 // ADC conversion complete (sensor reading ready)
+	IRQRadioRX = 4 // frame received (the paper's SPI interrupt)
+	IRQTxDone  = 5 // radio send completed (success or no-ack)
+)
+
+// I/O port map.
+const (
+	PortT0Ctrl     = 0x10 // write 1: start, 0: stop
+	PortT0PeriodLo = 0x11
+	PortT0PeriodHi = 0x12
+	PortT0Prescale = 0x13 // effective period = period << prescale
+	PortT1Ctrl     = 0x14
+	PortT1PeriodLo = 0x15
+	PortT1PeriodHi = 0x16
+	PortT1Prescale = 0x17
+
+	PortADCCtrl = 0x20 // write 1: start conversion
+	PortADCData = 0x21 // read last sample
+
+	PortRadioTxDst  = 0x30 // write destination node ID
+	PortRadioTxFifo = 0x31 // write payload byte
+	PortRadioCmd    = 0x32 // write RadioCmdSend / RadioCmdClear
+	PortRadioStatus = 0x33 // read: RadioStatus* bits
+	PortRadioTxStat = 0x34 // read: result of the last completed send
+	PortRadioRxLen  = 0x35 // read: length of pending received frame
+	PortRadioRxFifo = 0x36 // read payload byte (auto-advancing)
+	PortRadioRxSrc  = 0x37 // read source node ID of pending frame
+
+	PortLED = 0x40 // write: debug LED bitmask (observable in tests)
+)
+
+// Radio commands (PortRadioCmd).
+const (
+	RadioCmdClear = 0 // reset TX fifo
+	RadioCmdSend  = 1 // hand the TX fifo to the MAC
+)
+
+// Radio status bits (PortRadioStatus).
+const (
+	RadioStatusBusy    = 1 << 0 // MAC is mid-exchange (RTS..ACK window)
+	RadioStatusLastRej = 1 << 1 // the last send command was rejected
+)
+
+// TX completion codes (PortRadioTxStat).
+const (
+	TxStatOK    = 0 // delivered and acknowledged
+	TxStatNoAck = 1 // exhausted retries without an ACK
+	TxStatNone  = 0xff
+)
+
+// IRQLine lets a device request an interrupt. The node runtime implements
+// it; requests are latched until dispatched.
+type IRQLine interface {
+	Raise(irq int)
+}
+
+// Device is one piece of hardware on the node.
+type Device interface {
+	// NextEvent returns the cycle of the device's next self-scheduled
+	// event, and whether one exists. The simulator uses it to
+	// fast-forward sleeping nodes.
+	NextEvent() (uint64, bool)
+	// Advance processes all device events up to and including cycle.
+	Advance(cycle uint64)
+	// In handles a port read; ok is false if the port is not this
+	// device's.
+	In(port uint8, now uint64) (v uint8, ok bool)
+	// Out handles a port write; ok is false if the port is not this
+	// device's.
+	Out(port uint8, v uint8, now uint64) (ok bool)
+}

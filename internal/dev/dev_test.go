@@ -1,0 +1,290 @@
+package dev
+
+import (
+	"testing"
+
+	"sentomist/internal/randx"
+)
+
+// irqRecorder collects raised interrupts.
+type irqRecorder struct {
+	raised []int
+}
+
+func (r *irqRecorder) Raise(irq int) { r.raised = append(r.raised, irq) }
+
+func TestTimerPeriodicFiring(t *testing.T) {
+	rec := &irqRecorder{}
+	tm := NewTimer(IRQTimer0, rec, PortT0Ctrl, PortT0PeriodLo, PortT0PeriodHi, PortT0Prescale)
+	tm.Out(PortT0PeriodLo, 0x10, 0) // period 0x0010 = 16
+	tm.Out(PortT0Ctrl, 1, 0)
+	tm.Advance(100)
+	if len(rec.raised) != 6 { // fires at 16,32,48,64,80,96
+		t.Fatalf("fired %d times in 100 cycles, want 6", len(rec.raised))
+	}
+	for _, irq := range rec.raised {
+		if irq != IRQTimer0 {
+			t.Fatalf("raised irq %d", irq)
+		}
+	}
+}
+
+func TestTimerStoppedDoesNotFire(t *testing.T) {
+	rec := &irqRecorder{}
+	tm := NewTimer(IRQTimer0, rec, PortT0Ctrl, PortT0PeriodLo, PortT0PeriodHi, PortT0Prescale)
+	tm.Out(PortT0PeriodLo, 10, 0)
+	tm.Advance(100)
+	if len(rec.raised) != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	if _, ok := tm.NextEvent(); ok {
+		t.Fatal("stopped timer schedules events")
+	}
+}
+
+func TestTimerPrescale(t *testing.T) {
+	rec := &irqRecorder{}
+	tm := NewTimer(IRQTimer0, rec, PortT0Ctrl, PortT0PeriodLo, PortT0PeriodHi, PortT0Prescale)
+	tm.Out(PortT0PeriodLo, 10, 0)
+	tm.Out(PortT0Prescale, 3, 0) // effective period 80
+	tm.Out(PortT0Ctrl, 1, 0)
+	tm.Advance(400)
+	if len(rec.raised) != 5 { // 80,160,240,320,400
+		t.Fatalf("fired %d times, want 5", len(rec.raised))
+	}
+}
+
+func TestTimerRearmOnPeriodWrite(t *testing.T) {
+	rec := &irqRecorder{}
+	tm := NewTimer(IRQTimer0, rec, PortT0Ctrl, PortT0PeriodLo, PortT0PeriodHi, PortT0Prescale)
+	tm.Out(PortT0PeriodLo, 100, 0)
+	tm.Out(PortT0Ctrl, 1, 0)
+	tm.Advance(150) // fires at 100
+	tm.Out(PortT0PeriodLo, 200, 150)
+	tm.Advance(349) // next fire at 350
+	if len(rec.raised) != 1 {
+		t.Fatalf("fired %d times, want 1 (re-arm must reset phase)", len(rec.raised))
+	}
+	tm.Advance(351)
+	if len(rec.raised) != 2 {
+		t.Fatalf("fired %d times after re-armed period elapsed, want 2", len(rec.raised))
+	}
+}
+
+func TestTimerNextEvent(t *testing.T) {
+	rec := &irqRecorder{}
+	tm := NewTimer(IRQTimer0, rec, PortT0Ctrl, PortT0PeriodLo, PortT0PeriodHi, PortT0Prescale)
+	tm.Out(PortT0PeriodLo, 50, 7)
+	tm.Out(PortT0Ctrl, 1, 7)
+	at, ok := tm.NextEvent()
+	if !ok || at != 57 {
+		t.Fatalf("NextEvent = %d,%v want 57,true", at, ok)
+	}
+}
+
+func TestTimerIgnoresForeignPorts(t *testing.T) {
+	rec := &irqRecorder{}
+	tm := NewTimer(IRQTimer0, rec, PortT0Ctrl, PortT0PeriodLo, PortT0PeriodHi, PortT0Prescale)
+	if tm.Out(PortADCCtrl, 1, 0) {
+		t.Error("timer claimed the ADC port")
+	}
+	if _, ok := tm.In(PortT0Ctrl, 0); ok {
+		t.Error("timer ports must be write-only")
+	}
+}
+
+func TestADCConversionLatency(t *testing.T) {
+	rec := &irqRecorder{}
+	adc := NewADC(rec, NewWalkSensor(randx.New(1), 100, 3, 20, 220))
+	adc.Out(PortADCCtrl, 1, 1000)
+	adc.Advance(1000 + ADCLatency - 1)
+	if len(rec.raised) != 0 {
+		t.Fatal("ADC fired before the conversion latency")
+	}
+	adc.Advance(1000 + ADCLatency)
+	if len(rec.raised) != 1 || rec.raised[0] != IRQADC {
+		t.Fatalf("raised %v", rec.raised)
+	}
+	v, ok := adc.In(PortADCData, 1100)
+	if !ok {
+		t.Fatal("data port not claimed")
+	}
+	if v < 20 || v > 220 {
+		t.Fatalf("sample %d outside sensor bounds", v)
+	}
+}
+
+func TestADCIgnoresDoubleStart(t *testing.T) {
+	rec := &irqRecorder{}
+	adc := NewADC(rec, NewWalkSensor(randx.New(1), 100, 3, 20, 220))
+	adc.Out(PortADCCtrl, 1, 0)
+	adc.Out(PortADCCtrl, 1, 50) // mid-conversion: ignored
+	adc.Advance(ADCLatency)
+	adc.Advance(50 + ADCLatency)
+	if len(rec.raised) != 1 {
+		t.Fatalf("ADC fired %d times, want 1", len(rec.raised))
+	}
+}
+
+func TestWalkSensorBounds(t *testing.T) {
+	s := NewWalkSensor(randx.New(9), 100, 50, 40, 120)
+	for i := 0; i < 1000; i++ {
+		v := s.Sample(uint64(i))
+		if v < 40 || v > 120 {
+			t.Fatalf("sample %d out of [40,120]", v)
+		}
+	}
+}
+
+// fakeMAC implements Transceiver.
+type fakeMAC struct {
+	busy     bool
+	accepted []struct {
+		dst     int
+		payload []byte
+	}
+	reject bool
+}
+
+func (m *fakeMAC) Submit(now uint64, dst int, payload []byte) bool {
+	if m.reject {
+		return false
+	}
+	m.accepted = append(m.accepted, struct {
+		dst     int
+		payload []byte
+	}{dst, payload})
+	return true
+}
+
+func (m *fakeMAC) Busy(now uint64) bool { return m.busy }
+
+func TestRadioSendPath(t *testing.T) {
+	rec := &irqRecorder{}
+	r := NewRadio(rec)
+	mac := &fakeMAC{}
+	r.SetTransceiver(mac)
+
+	r.Out(PortRadioTxDst, 3, 0)
+	r.Out(PortRadioTxFifo, 10, 0)
+	r.Out(PortRadioTxFifo, 20, 0)
+	r.Out(PortRadioCmd, RadioCmdSend, 0)
+
+	if len(mac.accepted) != 1 {
+		t.Fatalf("MAC got %d submissions", len(mac.accepted))
+	}
+	got := mac.accepted[0]
+	if got.dst != 3 || len(got.payload) != 2 || got.payload[0] != 10 || got.payload[1] != 20 {
+		t.Fatalf("submitted %+v", got)
+	}
+	if v, _ := r.In(PortRadioStatus, 0); v&RadioStatusLastRej != 0 {
+		t.Fatal("accepted send marked rejected")
+	}
+}
+
+func TestRadioRejectedSend(t *testing.T) {
+	rec := &irqRecorder{}
+	r := NewRadio(rec)
+	mac := &fakeMAC{reject: true, busy: true}
+	r.SetTransceiver(mac)
+	r.Out(PortRadioTxFifo, 1, 0)
+	r.Out(PortRadioCmd, RadioCmdSend, 0)
+	v, _ := r.In(PortRadioStatus, 0)
+	if v&RadioStatusLastRej == 0 {
+		t.Fatal("rejection not reported")
+	}
+	if v&RadioStatusBusy == 0 {
+		t.Fatal("busy flag not reported")
+	}
+}
+
+func TestRadioTxFifoClearAndCap(t *testing.T) {
+	rec := &irqRecorder{}
+	r := NewRadio(rec)
+	mac := &fakeMAC{}
+	r.SetTransceiver(mac)
+	for i := 0; i < MaxFrame+10; i++ {
+		r.Out(PortRadioTxFifo, uint8(i), 0)
+	}
+	r.Out(PortRadioCmd, RadioCmdSend, 0)
+	if len(mac.accepted[0].payload) != MaxFrame {
+		t.Fatalf("payload %d bytes, want cap %d", len(mac.accepted[0].payload), MaxFrame)
+	}
+	r.Out(PortRadioTxFifo, 9, 0)
+	r.Out(PortRadioCmd, RadioCmdClear, 0)
+	r.Out(PortRadioCmd, RadioCmdSend, 0)
+	if len(mac.accepted[1].payload) != 0 {
+		t.Fatal("clear did not empty the FIFO")
+	}
+}
+
+func TestRadioReceivePath(t *testing.T) {
+	rec := &irqRecorder{}
+	r := NewRadio(rec)
+	r.OnReceive(7, []byte{1, 2, 3})
+	if len(rec.raised) != 1 || rec.raised[0] != IRQRadioRX {
+		t.Fatalf("raised %v", rec.raised)
+	}
+	if v, _ := r.In(PortRadioRxSrc, 0); v != 7 {
+		t.Fatalf("src %d", v)
+	}
+	if v, _ := r.In(PortRadioRxLen, 0); v != 3 {
+		t.Fatalf("len %d", v)
+	}
+	var got []byte
+	for i := 0; i < 3; i++ {
+		v, _ := r.In(PortRadioRxFifo, 0)
+		got = append(got, v)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("payload %v", got)
+	}
+	if v, _ := r.In(PortRadioRxFifo, 0); v != 0 {
+		t.Fatal("reading past the frame end should yield 0")
+	}
+	if v, _ := r.In(PortRadioRxLen, 0); v != 0 {
+		t.Fatal("length should reach 0 after draining")
+	}
+}
+
+func TestRadioDropsWhenBufferUnread(t *testing.T) {
+	rec := &irqRecorder{}
+	r := NewRadio(rec)
+	r.OnReceive(1, []byte{1, 2})
+	r.OnReceive(2, []byte{3, 4}) // dropped: previous frame unread
+	if r.RxDropped() != 1 {
+		t.Fatalf("dropped %d, want 1", r.RxDropped())
+	}
+	if len(rec.raised) != 1 {
+		t.Fatalf("raised %d interrupts, want 1", len(rec.raised))
+	}
+	// Drain, then a third frame is accepted again.
+	r.In(PortRadioRxFifo, 0)
+	r.In(PortRadioRxFifo, 0)
+	r.OnReceive(3, []byte{9})
+	if len(rec.raised) != 2 {
+		t.Fatal("frame after drain not accepted")
+	}
+	if v, _ := r.In(PortRadioRxSrc, 0); v != 3 {
+		t.Fatalf("src %d, want 3", v)
+	}
+}
+
+func TestRadioTxDone(t *testing.T) {
+	rec := &irqRecorder{}
+	r := NewRadio(rec)
+	if v, _ := r.In(PortRadioTxStat, 0); v != TxStatNone {
+		t.Fatalf("initial TxStat %d", v)
+	}
+	r.OnTxDone(TxStatOK)
+	if len(rec.raised) != 1 || rec.raised[0] != IRQTxDone {
+		t.Fatalf("raised %v", rec.raised)
+	}
+	if v, _ := r.In(PortRadioTxStat, 0); v != TxStatOK {
+		t.Fatalf("TxStat %d", v)
+	}
+	r.OnTxDone(TxStatNoAck)
+	if v, _ := r.In(PortRadioTxStat, 0); v != TxStatNoAck {
+		t.Fatalf("TxStat %d after NoAck", v)
+	}
+}

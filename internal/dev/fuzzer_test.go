@@ -1,0 +1,65 @@
+package dev
+
+import (
+	"testing"
+
+	"sentomist/internal/randx"
+)
+
+func TestFuzzerRaisesWithinGaps(t *testing.T) {
+	rec := &irqRecorder{}
+	f := NewFuzzer(rec, randx.New(1), []int{IRQTimer0, IRQADC}, 100, 500)
+	f.Advance(100_000)
+	n := len(rec.raised)
+	if n < 100_000/500-10 || n > 100_000/100+10 {
+		t.Fatalf("raised %d interrupts over 100k cycles with gaps [100,500]", n)
+	}
+	seen := map[int]int{}
+	for _, irq := range rec.raised {
+		if irq != IRQTimer0 && irq != IRQADC {
+			t.Fatalf("raised unconfigured irq %d", irq)
+		}
+		seen[irq]++
+	}
+	if seen[IRQTimer0] == 0 || seen[IRQADC] == 0 {
+		t.Fatalf("irq mix %v: both sources must fire", seen)
+	}
+}
+
+func TestFuzzerDeterministic(t *testing.T) {
+	run := func() []int {
+		rec := &irqRecorder{}
+		f := NewFuzzer(rec, randx.New(7), []int{1, 2, 3}, 50, 200)
+		for c := uint64(0); c < 10_000; c += 64 {
+			f.Advance(c)
+		}
+		return rec.raised
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d raises", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("raise %d differs", i)
+		}
+	}
+}
+
+func TestFuzzerPanicsOnBadConfig(t *testing.T) {
+	rec := &irqRecorder{}
+	for _, fn := range []func(){
+		func() { NewFuzzer(rec, randx.New(1), nil, 10, 20) },
+		func() { NewFuzzer(rec, randx.New(1), []int{1}, 0, 20) },
+		func() { NewFuzzer(rec, randx.New(1), []int{1}, 30, 20) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad fuzzer config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,128 @@
+package dev
+
+// MaxFrame is the maximum payload length of one radio frame in bytes.
+const MaxFrame = 32
+
+// Transceiver is the MAC layer below the radio front end (implemented by
+// package medium). Submit hands over a frame for the full CSMA exchange and
+// returns false when the MAC is already busy with an exchange, in which case
+// no TXDONE will follow for this frame.
+type Transceiver interface {
+	Submit(now uint64, dst int, payload []byte) bool
+	Busy(now uint64) bool
+}
+
+// Radio is the node-visible radio front end: a TX FIFO with a send command,
+// a status register exposing the MAC busy window, and an RX buffer that
+// raises the packet-arrival interrupt the paper calls the SPI interrupt.
+//
+// The split matches the CC1000 stack in the paper's Case II: the busy flag
+// is set for the whole RTS/CTS/DATA/ACK exchange, and a send issued inside
+// that window is rejected.
+type Radio struct {
+	line IRQLine
+	mac  Transceiver
+
+	txDst   uint8
+	txBuf   []byte
+	lastRej bool
+	txStat  uint8
+
+	rxSrc  uint8
+	rxBuf  []byte
+	rxPos  int
+	rxDrop int
+}
+
+// NewRadio creates the radio front end. Attach the MAC with SetTransceiver
+// before the node runs.
+func NewRadio(line IRQLine) *Radio {
+	return &Radio{line: line, txStat: TxStatNone, txBuf: make([]byte, 0, MaxFrame)}
+}
+
+// SetTransceiver wires the MAC below the front end.
+func (r *Radio) SetTransceiver(t Transceiver) { r.mac = t }
+
+// RxDropped reports frames dropped because the RX buffer was still unread.
+func (r *Radio) RxDropped() int { return r.rxDrop }
+
+// OnTxDone is called by the MAC when an accepted send completes.
+func (r *Radio) OnTxDone(status uint8) {
+	r.txStat = status
+	r.line.Raise(IRQTxDone)
+}
+
+// OnReceive is called by the MAC when a frame addressed to this node has
+// been received intact. If the previous frame has not been fully read out,
+// the new one is dropped (as a real chip with a single packet buffer does).
+func (r *Radio) OnReceive(src int, payload []byte) {
+	if r.rxPos < len(r.rxBuf) {
+		r.rxDrop++
+		return
+	}
+	r.rxSrc = uint8(src)
+	r.rxBuf = append(r.rxBuf[:0], payload...)
+	r.rxPos = 0
+	r.line.Raise(IRQRadioRX)
+}
+
+// NextEvent implements Device; all radio timing lives in the MAC.
+func (r *Radio) NextEvent() (uint64, bool) { return 0, false }
+
+// Advance implements Device.
+func (r *Radio) Advance(cycle uint64) {}
+
+// In implements Device.
+func (r *Radio) In(port uint8, now uint64) (uint8, bool) {
+	switch port {
+	case PortRadioStatus:
+		var v uint8
+		if r.mac != nil && r.mac.Busy(now) {
+			v |= RadioStatusBusy
+		}
+		if r.lastRej {
+			v |= RadioStatusLastRej
+		}
+		return v, true
+	case PortRadioTxStat:
+		return r.txStat, true
+	case PortRadioRxLen:
+		return uint8(len(r.rxBuf) - r.rxPos), true
+	case PortRadioRxFifo:
+		if r.rxPos >= len(r.rxBuf) {
+			return 0, true
+		}
+		v := r.rxBuf[r.rxPos]
+		r.rxPos++
+		return v, true
+	case PortRadioRxSrc:
+		return r.rxSrc, true
+	}
+	return 0, false
+}
+
+// Out implements Device.
+func (r *Radio) Out(port uint8, v uint8, now uint64) bool {
+	switch port {
+	case PortRadioTxDst:
+		r.txDst = v
+	case PortRadioTxFifo:
+		if len(r.txBuf) < MaxFrame {
+			r.txBuf = append(r.txBuf, v)
+		}
+	case PortRadioCmd:
+		switch v {
+		case RadioCmdClear:
+			r.txBuf = r.txBuf[:0]
+		case RadioCmdSend:
+			payload := make([]byte, len(r.txBuf))
+			copy(payload, r.txBuf)
+			r.txBuf = r.txBuf[:0]
+			accepted := r.mac != nil && r.mac.Submit(now, int(r.txDst), payload)
+			r.lastRej = !accepted
+		}
+	default:
+		return false
+	}
+	return true
+}

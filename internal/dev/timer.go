@@ -1,0 +1,83 @@
+package dev
+
+// Timer is a periodic hardware timer with a 16-bit period register. When
+// running, it raises its IRQ every period cycles, mirroring a compare-match
+// timer. Setting the period while running re-arms from the current time.
+type Timer struct {
+	irq  int
+	line IRQLine
+
+	ctrlPort, loPort, hiPort, prePort uint8
+
+	period   uint16
+	prescale uint8
+	running  bool
+	nextFire uint64
+}
+
+// NewTimer creates a timer raising irq on line, configured through the
+// given control/period/prescale ports. The effective period in cycles is
+// period << prescale, so long periods (e.g. 100 ms at 1 MHz) remain
+// expressible through 8-bit port writes.
+func NewTimer(irq int, line IRQLine, ctrlPort, loPort, hiPort, prePort uint8) *Timer {
+	return &Timer{irq: irq, line: line, ctrlPort: ctrlPort, loPort: loPort, hiPort: hiPort, prePort: prePort}
+}
+
+// effectivePeriod returns the period in cycles.
+func (t *Timer) effectivePeriod() uint64 {
+	return uint64(t.period) << uint(t.prescale&0x0f)
+}
+
+// NextEvent implements Device.
+func (t *Timer) NextEvent() (uint64, bool) {
+	if !t.running || t.period == 0 {
+		return 0, false
+	}
+	return t.nextFire, true
+}
+
+// Advance implements Device.
+func (t *Timer) Advance(cycle uint64) {
+	if !t.running || t.period == 0 {
+		return
+	}
+	for t.nextFire <= cycle {
+		t.line.Raise(t.irq)
+		t.nextFire += t.effectivePeriod()
+	}
+}
+
+// In implements Device. The timer's ports are write-only.
+func (t *Timer) In(port uint8, now uint64) (uint8, bool) {
+	return 0, false
+}
+
+// Out implements Device.
+func (t *Timer) Out(port uint8, v uint8, now uint64) bool {
+	switch port {
+	case t.ctrlPort:
+		wasRunning := t.running
+		t.running = v != 0
+		if t.running && !wasRunning {
+			t.arm(now)
+		}
+	case t.loPort:
+		t.period = t.period&0xff00 | uint16(v)
+		t.arm(now)
+	case t.hiPort:
+		t.period = t.period&0x00ff | uint16(v)<<8
+		t.arm(now)
+	case t.prePort:
+		t.prescale = v
+		t.arm(now)
+	default:
+		return false
+	}
+	return true
+}
+
+func (t *Timer) arm(now uint64) {
+	if t.running && t.period != 0 {
+		t.nextFire = now + t.effectivePeriod()
+	}
+}

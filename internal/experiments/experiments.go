@@ -1,0 +1,432 @@
+// Package experiments orchestrates the reproduction of every evaluation
+// artifact in the paper (the per-experiment index of DESIGN.md): the three
+// Figure-5 rankings, the trace-volume and inspection-effort measurements,
+// and the ablations. The benchmark harness (bench_test.go) and the
+// cmd/experiments report generator both run through this package, so the
+// numbers in EXPERIMENTS.md come from exactly one code path.
+package experiments
+
+import (
+	"fmt"
+
+	"sentomist/internal/apps"
+	"sentomist/internal/baseline"
+	"sentomist/internal/core"
+	"sentomist/internal/dev"
+	"sentomist/internal/lifecycle"
+	"sentomist/internal/outlier"
+	"sentomist/internal/svm"
+)
+
+// Default seeds of the canonical runs (chosen once; every result in
+// EXPERIMENTS.md uses them).
+const (
+	CaseISeedBase = 100
+	CaseIISeed    = 7
+	CaseIIISeed   = 20
+)
+
+// CaseResult summarizes one case-study reproduction.
+type CaseResult struct {
+	Name        string
+	Samples     int
+	Symptomatic int
+	// FirstSymptomRank is the 1-based rank of the first ground-truth
+	// symptomatic interval (0 = none found).
+	FirstSymptomRank int
+	// TopKHits counts symptomatic intervals within the top
+	// `Symptomatic` ranks (== Symptomatic means a perfect head).
+	TopKHits int
+	// TriggerRank is Case III's FAIL-trigger rank (0 elsewhere).
+	TriggerRank int
+	// Table is the Figure-5-style rendering (top rows + tail).
+	Table string
+}
+
+// CaseI reproduces Figure 5(a): five pooled runs, D = 20..100 ms.
+func CaseI(seedBase uint64) (*CaseResult, error) {
+	var (
+		runs   []*apps.Run
+		inputs []core.RunInput
+	)
+	for i, d := range []int{20, 40, 60, 80, 100} {
+		run, err := apps.RunOscilloscope(apps.OscConfig{
+			PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: case I run %d: %w", i+1, err)
+		}
+		runs = append(runs, run)
+		inputs = append(inputs, core.RunInput{Trace: run.Trace, Programs: run.Programs})
+	}
+	ranking, err := core.Mine(inputs, core.Config{
+		IRQ:   dev.IRQADC,
+		Nodes: []int{apps.OscSensorID},
+	})
+	if err != nil {
+		return nil, err
+	}
+	oracle := func(s core.Sample) bool {
+		return apps.CaseISymptom(runs[s.Run-1], s.Interval)
+	}
+	return summarize("Figure 5(a): Case I — data pollution", ranking, oracle, nil), nil
+}
+
+// CaseII reproduces Figure 5(b): one 20-second forwarding run.
+func CaseII(seed uint64) (*CaseResult, error) {
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: case II: %w", err)
+	}
+	ranking, err := core.Mine(
+		[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+		core.Config{
+			IRQ:    dev.IRQRadioRX,
+			Nodes:  []int{apps.FwdRelayID},
+			Labels: core.LabelSeqOnly,
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	oracle := func(s core.Sample) bool { return apps.CaseIISymptom(run, s.Interval) }
+	return summarize("Figure 5(b): Case II — packet loss", ranking, oracle, nil), nil
+}
+
+// CaseIII reproduces Figure 5(c): one 15-second nine-node run.
+func CaseIII(seed uint64) (*CaseResult, error) {
+	run, err := apps.RunCTPHeartbeat(apps.CTPConfig{Seconds: 15, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: case III: %w", err)
+	}
+	ranking, err := core.Mine(
+		[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+		core.Config{
+			IRQ:    dev.IRQTimer0,
+			Nodes:  apps.CTPSources,
+			Labels: core.LabelNodeSeq,
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	oracle := func(s core.Sample) bool { return apps.CaseIIISymptom(run, s.Interval) }
+	trigger := func(s core.Sample) bool { return apps.CaseIIITrigger(run, s.Interval) }
+	return summarize("Figure 5(c): Case III — unhandled failure", ranking, oracle, trigger), nil
+}
+
+func summarize(name string, ranking *core.Ranking, oracle, trigger func(core.Sample) bool) *CaseResult {
+	r := &CaseResult{
+		Name:    name,
+		Samples: len(ranking.Samples),
+		Table:   ranking.Table(6, 2),
+	}
+	for _, s := range ranking.Samples {
+		if oracle(s) {
+			r.Symptomatic++
+		}
+	}
+	r.FirstSymptomRank = ranking.RankOf(oracle)
+	for _, s := range ranking.Top(r.Symptomatic) {
+		if oracle(s) {
+			r.TopKHits++
+		}
+	}
+	if trigger != nil {
+		r.TriggerRank = ranking.RankOf(trigger)
+	}
+	return r
+}
+
+// VolumeResult is E4: trace size vs. intervals to inspect.
+type VolumeResult struct {
+	TraceBytes int
+	Markers    int
+	Intervals  int
+}
+
+// TraceVolume measures the Case-I run at D = 20 ms.
+func TraceVolume() (*VolumeResult, error) {
+	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase})
+	if err != nil {
+		return nil, err
+	}
+	ivs, err := lifecycle.ExtractTrace(run.Trace)
+	if err != nil {
+		return nil, err
+	}
+	v := &VolumeResult{TraceBytes: run.Trace.SizeBytes(), Intervals: len(ivs)}
+	for _, nt := range run.Trace.Nodes {
+		v.Markers += len(nt.Markers)
+	}
+	return v, nil
+}
+
+// EffortResult is E5: inspections until the first true symptom.
+type EffortResult struct {
+	Sentomist     int
+	Chronological int
+	RandomExp     float64
+	Samples       int
+	Symptomatic   int
+}
+
+// InspectionEffort measures the Case-II workload.
+func InspectionEffort(seed uint64) (*EffortResult, error) {
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	ranking, err := core.Mine(
+		[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+		core.Config{IRQ: dev.IRQRadioRX, Nodes: []int{apps.FwdRelayID}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	oracle := func(s core.Sample) bool { return apps.CaseIISymptom(run, s.Interval) }
+	res := &EffortResult{Samples: len(ranking.Samples)}
+	res.Sentomist = ranking.RankOf(oracle)
+	// Chronological: first symptomatic Seq among all samples.
+	firstSeq := -1
+	for _, s := range ranking.Samples {
+		if !oracle(s) {
+			continue
+		}
+		res.Symptomatic++
+		if firstSeq < 0 || s.Interval.Seq < firstSeq {
+			firstSeq = s.Interval.Seq
+		}
+	}
+	res.Chronological = firstSeq
+	res.RandomExp = baseline.ExpectedBruteForceInspections(res.Samples, res.Symptomatic)
+	return res, nil
+}
+
+// AblationRow is one detector/feature/kernel variant's outcome.
+type AblationRow struct {
+	Name             string
+	FirstSymptomRank int
+	Extra            float64 // variant-specific metric (dims, pattern score)
+}
+
+// DetectorAblation is A1 on Case II.
+func DetectorAblation(seed uint64) ([]AblationRow, error) {
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	dets := []struct {
+		name string
+		det  outlier.Detector
+	}{
+		{"one-class SVM", outlier.OneClassSVM{}},
+		{"PCA", outlier.PCA{}},
+		{"k-NN", outlier.KNN{}},
+		{"Mahalanobis (diag)", outlier.Mahalanobis{}},
+		{"kernel PCA", outlier.KernelPCA{}},
+		{"random", baseline.Random{Seed: 1}},
+	}
+	var rows []AblationRow
+	for _, d := range dets {
+		ranking, err := core.Mine(
+			[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+			core.Config{IRQ: dev.IRQRadioRX, Nodes: []int{apps.FwdRelayID}, Detector: d.det},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: detector %s: %w", d.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: d.name,
+			FirstSymptomRank: ranking.RankOf(func(s core.Sample) bool {
+				return apps.CaseIISymptom(run, s.Interval)
+			}),
+		})
+	}
+	return rows, nil
+}
+
+// FeatureAblation is A2 on Case II.
+func FeatureAblation(seed uint64) ([]AblationRow, error) {
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	feats := []struct {
+		name string
+		kind core.FeatureKind
+	}{
+		{"instruction counter", core.FeatureCounter},
+		{"function counts", core.FeatureFuncCount},
+		{"duration only", core.FeatureDuration},
+		{"stack depth only", core.FeatureStackDepth},
+	}
+	var rows []AblationRow
+	for _, f := range feats {
+		ranking, err := core.Mine(
+			[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+			core.Config{IRQ: dev.IRQRadioRX, Nodes: []int{apps.FwdRelayID}, Feature: f.kind},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: feature %s: %w", f.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: f.name,
+			FirstSymptomRank: ranking.RankOf(func(s core.Sample) bool {
+				return apps.CaseIISymptom(run, s.Interval)
+			}),
+			Extra: float64(ranking.Dim),
+		})
+	}
+	return rows, nil
+}
+
+// KernelAblation is A3 on Case I run 1.
+func KernelAblation(seed uint64) ([]AblationRow, error) {
+	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	kernels := []struct {
+		name   string
+		kernel svm.Kernel
+	}{
+		{"RBF", nil},
+		{"linear", svm.Linear{}},
+	}
+	var rows []AblationRow
+	for _, k := range kernels {
+		ranking, err := core.Mine(
+			[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+			core.Config{
+				IRQ:      dev.IRQADC,
+				Nodes:    []int{apps.OscSensorID},
+				Detector: outlier.OneClassSVM{Kernel: k.kernel},
+			},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: kernel %s: %w", k.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: k.name,
+			FirstSymptomRank: ranking.RankOf(func(s core.Sample) bool {
+				return apps.CaseISymptom(run, s.Interval)
+			}),
+		})
+	}
+	return rows, nil
+}
+
+// DustminerBaseline is A4: top discriminative-pattern score per workload.
+func DustminerBaseline() ([]AblationRow, error) {
+	var rows []AblationRow
+
+	caseIRun, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase})
+	if err != nil {
+		return nil, err
+	}
+	score, err := dustminerScore(caseIRun, apps.OscSensorID, dev.IRQADC, func(iv lifecycle.Interval) bool {
+		return apps.CaseISymptom(caseIRun, iv)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{Name: "Case I (labels supplied)", Extra: score})
+
+	caseIIRun, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: CaseIISeed})
+	if err != nil {
+		return nil, err
+	}
+	score, err = dustminerScore(caseIIRun, apps.FwdRelayID, dev.IRQRadioRX, func(iv lifecycle.Interval) bool {
+		return apps.CaseIISymptom(caseIIRun, iv)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{Name: "Case II (labels supplied)", Extra: score})
+	return rows, nil
+}
+
+func dustminerScore(run *apps.Run, nodeID, irq int, oracle func(lifecycle.Interval) bool) (float64, error) {
+	nt := run.Trace.Node(nodeID)
+	seq := lifecycle.NewSequence(nt)
+	ivs, err := seq.Extract()
+	if err != nil {
+		return 0, err
+	}
+	var segments []baseline.Segment
+	for _, iv := range ivs {
+		if iv.IRQ != irq || !iv.Complete {
+			continue
+		}
+		segments = append(segments, baseline.SegmentOfInterval(seq, iv, oracle(iv)))
+	}
+	patterns, err := baseline.Discriminative(segments, 3, 1)
+	if err != nil {
+		return 0, err
+	}
+	return patterns[0].Score, nil
+}
+
+// NuSensitivity sweeps the one-class SVM's ν parameter on Case II and
+// reports the rank of the first busy-drop per value — the check that the
+// default 0.05 is not a tuned constant.
+func NuSensitivity(seed uint64) ([]AblationRow, error) {
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, nu := range []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3} {
+		ranking, err := core.Mine(
+			[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+			core.Config{
+				IRQ:      dev.IRQRadioRX,
+				Nodes:    []int{apps.FwdRelayID},
+				Detector: outlier.OneClassSVM{Nu: nu},
+			},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: nu %g: %w", nu, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: fmt.Sprintf("nu=%g", nu),
+			FirstSymptomRank: ranking.RankOf(func(s core.Sample) bool {
+				return apps.CaseIISymptom(run, s.Interval)
+			}),
+			Extra: nu,
+		})
+	}
+	return rows, nil
+}
+
+// SequentialAblation is A5: race triggers under preemptive vs TOSSIM-like
+// sequential simulation.
+func SequentialAblation() (preemptive, sequential int, err error) {
+	count := func(seqMode bool) (int, error) {
+		run, err := apps.RunOscilloscope(apps.OscConfig{
+			PeriodMS: 20, Seconds: 10, Seed: 1, Sequential: seqMode,
+		})
+		if err != nil {
+			return 0, err
+		}
+		ivs, err := lifecycle.ExtractTrace(run.Trace)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, iv := range ivs {
+			if apps.CaseISymptom(run, iv) {
+				n++
+			}
+		}
+		return n, nil
+	}
+	if preemptive, err = count(false); err != nil {
+		return 0, 0, err
+	}
+	if sequential, err = count(true); err != nil {
+		return 0, 0, err
+	}
+	return preemptive, sequential, nil
+}

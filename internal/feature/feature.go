@@ -1,0 +1,180 @@
+// Package feature turns event-handling intervals into numeric samples for
+// outlier detection.
+//
+// The primary feature is the paper's instruction counter (Definition 4): a
+// vector with one dimension per program instruction, holding how many times
+// that instruction executed during the interval's wall-clock window. Because
+// windows of interleaved instances overlap, an instance whose window covers
+// a buggy interleaving accumulates the other instance's instructions — the
+// signal Sentomist mines.
+//
+// Two cruder features, function-call counts and duration, exist for the
+// ablation experiments (A2 in DESIGN.md).
+package feature
+
+import (
+	"fmt"
+	"sort"
+
+	"sentomist/internal/isa"
+	"sentomist/internal/lifecycle"
+	"sentomist/internal/trace"
+)
+
+// Extractor computes features over one recorded run.
+type Extractor struct {
+	byNode map[int]*trace.NodeTrace
+}
+
+// NewExtractor prepares feature extraction over t.
+func NewExtractor(t *trace.Trace) *Extractor {
+	e := &Extractor{byNode: make(map[int]*trace.NodeTrace, len(t.Nodes))}
+	for _, nt := range t.Nodes {
+		e.byNode[nt.NodeID] = nt
+	}
+	return e
+}
+
+// Counter returns the instruction counter of iv: dimension i is the number
+// of executions of instruction i within the interval window.
+func (e *Extractor) Counter(iv lifecycle.Interval) ([]float64, error) {
+	nt, ok := e.byNode[iv.Node]
+	if !ok {
+		return nil, fmt.Errorf("feature: no trace for node %d", iv.Node)
+	}
+	if iv.StartMarker < 0 || iv.EndMarker >= len(nt.Markers) || iv.EndMarker < iv.StartMarker {
+		return nil, fmt.Errorf("feature: interval markers [%d,%d] out of range (node %d has %d)",
+			iv.StartMarker, iv.EndMarker, iv.Node, len(nt.Markers))
+	}
+	v := make([]float64, nt.ProgramLen)
+	// Marker m's delta covers instructions executed in (m-1, m]; the
+	// interval window is (StartMarker, EndMarker].
+	for m := iv.StartMarker + 1; m <= iv.EndMarker; m++ {
+		for _, d := range nt.Markers[m].Deltas {
+			v[d.PC] += float64(d.Count)
+		}
+	}
+	return v, nil
+}
+
+// Counters extracts instruction counters for a batch of intervals. All
+// intervals must come from nodes running the same binary (equal ProgramLen),
+// so the resulting samples share a space.
+func (e *Extractor) Counters(ivs []lifecycle.Interval) ([][]float64, error) {
+	if len(ivs) == 0 {
+		return nil, nil
+	}
+	dim := -1
+	out := make([][]float64, len(ivs))
+	for i, iv := range ivs {
+		v, err := e.Counter(iv)
+		if err != nil {
+			return nil, err
+		}
+		if dim == -1 {
+			dim = len(v)
+		} else if len(v) != dim {
+			return nil, fmt.Errorf("feature: mixed program sizes (%d vs %d): intervals span different binaries", dim, len(v))
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// FuncCounter aggregates iv's instruction counter per function: one
+// dimension per label in prog, counting executions of instructions between
+// that label and the next. It is the coarse feature of ablation A2.
+func (e *Extractor) FuncCounter(prog *isa.Program, iv lifecycle.Interval) ([]float64, error) {
+	raw, err := e.Counter(iv)
+	if err != nil {
+		return nil, err
+	}
+	starts := labelStarts(prog)
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("feature: program has no symbols for function counting")
+	}
+	out := make([]float64, len(starts))
+	for pc, c := range raw {
+		if c == 0 {
+			continue
+		}
+		out[regionOf(starts, pc)] += c
+	}
+	return out, nil
+}
+
+// Duration returns the 1-dimensional duration feature in cycles.
+func (e *Extractor) Duration(iv lifecycle.Interval) []float64 {
+	return []float64{float64(iv.Duration())}
+}
+
+// StackDepth returns the 1-dimensional peak-stack-depth feature in bytes —
+// the "memory usage" attribute the paper's Section V-B lists among the
+// straightforward candidates (and rejects as application-specific).
+func (e *Extractor) StackDepth(iv lifecycle.Interval) ([]float64, error) {
+	nt, ok := e.byNode[iv.Node]
+	if !ok {
+		return nil, fmt.Errorf("feature: no trace for node %d", iv.Node)
+	}
+	minSP := uint16(0xffff)
+	for m := iv.StartMarker + 1; m <= iv.EndMarker && m < len(nt.Markers); m++ {
+		if sp := nt.Markers[m].MinSP; sp < minSP {
+			minSP = sp
+		}
+	}
+	if minSP == 0xffff {
+		// No instructions in the window: empty stack usage.
+		return []float64{0}, nil
+	}
+	return []float64{float64(isa.RAMSize-1) - float64(minSP)}, nil
+}
+
+// labelStarts returns the sorted distinct label addresses of prog.
+func labelStarts(prog *isa.Program) []int {
+	starts := make([]int, 0, len(prog.Symbols))
+	for addr := range prog.Symbols {
+		starts = append(starts, int(addr))
+	}
+	sort.Ints(starts)
+	return starts
+}
+
+// regionOf returns the index of the label region containing pc: the last
+// start <= pc, or region 0 for code before the first label.
+func regionOf(starts []int, pc int) int {
+	i := sort.SearchInts(starts, pc+1) - 1
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// Scale01 rescales each dimension of samples to [0,1] in place (LIBSVM's
+// recommended preprocessing, which the paper's back end uses). Dimensions
+// that are constant across all samples become 0. It returns samples.
+func Scale01(samples [][]float64) [][]float64 {
+	if len(samples) == 0 {
+		return samples
+	}
+	dim := len(samples[0])
+	for d := 0; d < dim; d++ {
+		lo, hi := samples[0][d], samples[0][d]
+		for _, s := range samples[1:] {
+			if s[d] < lo {
+				lo = s[d]
+			}
+			if s[d] > hi {
+				hi = s[d]
+			}
+		}
+		span := hi - lo
+		for _, s := range samples {
+			if span == 0 {
+				s[d] = 0
+				continue
+			}
+			s[d] = (s[d] - lo) / span
+		}
+	}
+	return samples
+}

@@ -1,0 +1,300 @@
+// Package isa defines SVM-8, the instruction set of the virtual
+// microcontroller that stands in for the paper's AVR/Mica2 target.
+//
+// SVM-8 is an 8-bit register machine with sixteen general-purpose registers
+// (r0..r15), a 16-bit program counter over a word-addressed code space, a
+// 16-bit stack pointer into data RAM, four flags (Z, N, C, I), and a 256-port
+// I/O bus. Every instruction is one 32-bit code word and has a fixed cycle
+// cost (branches pay one extra cycle when taken), which gives the emulator
+// the cycle-accurate timing the paper relies on for reproducing transient
+// interleavings.
+//
+// Two instructions exist for the TinyOS-style runtime rather than the
+// hardware: POST enqueues a task on the operating system's FIFO queue and
+// OSRUN transfers control from boot code to the scheduler loop. They mirror
+// TinyOS's postTask function and the end of a nesC boot sequence.
+package isa
+
+import "fmt"
+
+// Op identifies an SVM-8 instruction.
+type Op uint8
+
+// The SVM-8 opcode set.
+const (
+	NOP   Op = iota + 1
+	MOV      // MOV rd, rs
+	LDI      // LDI rd, imm8
+	LDS      // LDS rd, addr16
+	STS      // STS addr16, rs
+	LDX      // LDX rd, base16, ri   (rd = mem[base+ri])
+	STX      // STX base16, ri, rs   (mem[base+ri] = rs)
+	ADD      // ADD rd, rs
+	ADC      // ADC rd, rs
+	SUB      // SUB rd, rs
+	SBC      // SBC rd, rs
+	AND      // AND rd, rs
+	OR       // OR rd, rs
+	XOR      // XOR rd, rs
+	ADDI     // ADDI rd, imm8
+	SUBI     // SUBI rd, imm8
+	ANDI     // ANDI rd, imm8
+	ORI      // ORI rd, imm8
+	XORI     // XORI rd, imm8
+	CP       // CP rd, rs
+	CPI      // CPI rd, imm8
+	INC      // INC rd
+	DEC      // DEC rd
+	SHL      // SHL rd
+	SHR      // SHR rd
+	JMP      // JMP addr16
+	BREQ     // BREQ addr16 (Z set)
+	BRNE     // BRNE addr16 (Z clear)
+	BRCS     // BRCS addr16 (C set; unsigned <)
+	BRCC     // BRCC addr16 (C clear; unsigned >=)
+	BRLT     // BRLT addr16 (N set)
+	BRGE     // BRGE addr16 (N clear)
+	CALL     // CALL addr16
+	RET      // RET
+	RETI     // RETI
+	PUSH     // PUSH rs
+	POP      // POP rd
+	IN       // IN rd, port8
+	OUT      // OUT port8, rs
+	SEI      // SEI
+	CLI      // CLI
+	SLEEP    // SLEEP
+	POST     // POST imm8 (task id)
+	OSRUN    // OSRUN
+	HALT     // HALT
+	opMax
+)
+
+// Fmt describes how an instruction's operands are laid out, for the
+// assembler, the disassembler, and encode/decode.
+type Fmt uint8
+
+// Operand formats. Register fields A and B are 4 bits; Imm is 16 bits.
+const (
+	FmtNone     Fmt = iota + 1
+	FmtRdRs         // A=rd, B=rs
+	FmtRdImm8       // A=rd, Imm=imm8
+	FmtRdAddr       // A=rd, Imm=addr16
+	FmtAddrRs       // B=rs, Imm=addr16
+	FmtRdAddrRi     // A=rd, B=ri, Imm=base16
+	FmtAddrRiRs     // A=ri, B=rs, Imm=base16
+	FmtRd           // A=rd
+	FmtRs           // B=rs
+	FmtAddr         // Imm=addr16
+	FmtRdPort       // A=rd, Imm=port8
+	FmtPortRs       // B=rs, Imm=port8
+	FmtImm8         // Imm=imm8
+)
+
+// Spec carries an opcode's static metadata.
+type Spec struct {
+	Name   string
+	Format Fmt
+	Cycles uint8 // base cycles; branches add 1 when taken
+	Branch bool  // conditional branch (taken-penalty applies)
+}
+
+var specs = [opMax]Spec{
+	NOP:   {Name: "nop", Format: FmtNone, Cycles: 1},
+	MOV:   {Name: "mov", Format: FmtRdRs, Cycles: 1},
+	LDI:   {Name: "ldi", Format: FmtRdImm8, Cycles: 1},
+	LDS:   {Name: "lds", Format: FmtRdAddr, Cycles: 2},
+	STS:   {Name: "sts", Format: FmtAddrRs, Cycles: 2},
+	LDX:   {Name: "ldx", Format: FmtRdAddrRi, Cycles: 2},
+	STX:   {Name: "stx", Format: FmtAddrRiRs, Cycles: 2},
+	ADD:   {Name: "add", Format: FmtRdRs, Cycles: 1},
+	ADC:   {Name: "adc", Format: FmtRdRs, Cycles: 1},
+	SUB:   {Name: "sub", Format: FmtRdRs, Cycles: 1},
+	SBC:   {Name: "sbc", Format: FmtRdRs, Cycles: 1},
+	AND:   {Name: "and", Format: FmtRdRs, Cycles: 1},
+	OR:    {Name: "or", Format: FmtRdRs, Cycles: 1},
+	XOR:   {Name: "xor", Format: FmtRdRs, Cycles: 1},
+	ADDI:  {Name: "addi", Format: FmtRdImm8, Cycles: 1},
+	SUBI:  {Name: "subi", Format: FmtRdImm8, Cycles: 1},
+	ANDI:  {Name: "andi", Format: FmtRdImm8, Cycles: 1},
+	ORI:   {Name: "ori", Format: FmtRdImm8, Cycles: 1},
+	XORI:  {Name: "xori", Format: FmtRdImm8, Cycles: 1},
+	CP:    {Name: "cp", Format: FmtRdRs, Cycles: 1},
+	CPI:   {Name: "cpi", Format: FmtRdImm8, Cycles: 1},
+	INC:   {Name: "inc", Format: FmtRd, Cycles: 1},
+	DEC:   {Name: "dec", Format: FmtRd, Cycles: 1},
+	SHL:   {Name: "shl", Format: FmtRd, Cycles: 1},
+	SHR:   {Name: "shr", Format: FmtRd, Cycles: 1},
+	JMP:   {Name: "jmp", Format: FmtAddr, Cycles: 2},
+	BREQ:  {Name: "breq", Format: FmtAddr, Cycles: 1, Branch: true},
+	BRNE:  {Name: "brne", Format: FmtAddr, Cycles: 1, Branch: true},
+	BRCS:  {Name: "brcs", Format: FmtAddr, Cycles: 1, Branch: true},
+	BRCC:  {Name: "brcc", Format: FmtAddr, Cycles: 1, Branch: true},
+	BRLT:  {Name: "brlt", Format: FmtAddr, Cycles: 1, Branch: true},
+	BRGE:  {Name: "brge", Format: FmtAddr, Cycles: 1, Branch: true},
+	CALL:  {Name: "call", Format: FmtAddr, Cycles: 3},
+	RET:   {Name: "ret", Format: FmtNone, Cycles: 3},
+	RETI:  {Name: "reti", Format: FmtNone, Cycles: 3},
+	PUSH:  {Name: "push", Format: FmtRs, Cycles: 2},
+	POP:   {Name: "pop", Format: FmtRd, Cycles: 2},
+	IN:    {Name: "in", Format: FmtRdPort, Cycles: 1},
+	OUT:   {Name: "out", Format: FmtPortRs, Cycles: 1},
+	SEI:   {Name: "sei", Format: FmtNone, Cycles: 1},
+	CLI:   {Name: "cli", Format: FmtNone, Cycles: 1},
+	SLEEP: {Name: "sleep", Format: FmtNone, Cycles: 1},
+	POST:  {Name: "post", Format: FmtImm8, Cycles: 2},
+	OSRUN: {Name: "osrun", Format: FmtNone, Cycles: 1},
+	HALT:  {Name: "halt", Format: FmtNone, Cycles: 1},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op > 0 && op < opMax }
+
+// Spec returns op's metadata. It panics on an invalid opcode; callers that
+// handle untrusted input should check Valid first.
+func (op Op) Spec() Spec {
+	if !op.Valid() {
+		panic(fmt.Sprintf("isa: invalid opcode %d", op))
+	}
+	return specs[op]
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return specs[op].Name
+}
+
+// OpByName maps an assembler mnemonic to its opcode. ok is false for an
+// unknown mnemonic.
+func OpByName(name string) (op Op, ok bool) {
+	for o := Op(1); o < opMax; o++ {
+		if specs[o].Name == name {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// NumRegisters is the number of general-purpose registers.
+const NumRegisters = 16
+
+// Instr is one decoded SVM-8 instruction. Register fields A and B hold
+// register indices (0..15); Imm holds an 8-bit immediate, a 16-bit address,
+// or a port number, depending on the opcode's format.
+type Instr struct {
+	Op  Op
+	A   uint8
+	B   uint8
+	Imm uint16
+}
+
+// Encode packs i into its 32-bit code word: op<<24 | A<<20 | B<<16 | Imm.
+func (i Instr) Encode() uint32 {
+	return uint32(i.Op)<<24 | uint32(i.A&0x0f)<<20 | uint32(i.B&0x0f)<<16 | uint32(i.Imm)
+}
+
+// Decode unpacks a 32-bit code word. It returns an error for an undefined
+// opcode or a register field outside the opcode's format.
+func Decode(w uint32) (Instr, error) {
+	i := Instr{
+		Op:  Op(w >> 24),
+		A:   uint8(w >> 20 & 0x0f),
+		B:   uint8(w >> 16 & 0x0f),
+		Imm: uint16(w),
+	}
+	if !i.Op.Valid() {
+		return Instr{}, fmt.Errorf("isa: undefined opcode %d in word %#08x", w>>24, w)
+	}
+	if err := i.Validate(); err != nil {
+		return Instr{}, err
+	}
+	return i, nil
+}
+
+// Validate checks that i's operand fields are consistent with its opcode's
+// format (unused register fields zero, imm8 operands within 8 bits).
+func (i Instr) Validate() error {
+	if !i.Op.Valid() {
+		return fmt.Errorf("isa: undefined opcode %d", uint8(i.Op))
+	}
+	sp := specs[i.Op]
+	var usesA, usesB, imm8 bool
+	switch sp.Format {
+	case FmtNone:
+	case FmtRdRs:
+		usesA, usesB = true, true
+	case FmtRdImm8:
+		usesA, imm8 = true, true
+	case FmtRdAddr:
+		usesA = true
+	case FmtAddrRs:
+		usesB = true
+	case FmtRdAddrRi, FmtAddrRiRs:
+		usesA, usesB = true, true
+	case FmtRd:
+		usesA = true
+	case FmtRs:
+		usesB = true
+	case FmtAddr:
+	case FmtRdPort:
+		usesA, imm8 = true, true
+	case FmtPortRs:
+		usesB, imm8 = true, true
+	case FmtImm8:
+		imm8 = true
+	default:
+		return fmt.Errorf("isa: opcode %s has unknown format %d", sp.Name, sp.Format)
+	}
+	if !usesA && i.A != 0 {
+		return fmt.Errorf("isa: %s does not use register field A (got r%d)", sp.Name, i.A)
+	}
+	if !usesB && i.B != 0 {
+		return fmt.Errorf("isa: %s does not use register field B (got r%d)", sp.Name, i.B)
+	}
+	if imm8 && i.Imm > 0xff {
+		return fmt.Errorf("isa: %s immediate %d exceeds 8 bits", sp.Name, i.Imm)
+	}
+	return nil
+}
+
+// String renders i in assembler syntax (without symbolic labels). Invalid
+// opcodes render as "op(N)" rather than panicking, so diagnostic output
+// over arbitrary words stays safe.
+func (i Instr) String() string {
+	if !i.Op.Valid() {
+		return i.Op.String()
+	}
+	sp := i.Op.Spec()
+	switch sp.Format {
+	case FmtNone:
+		return sp.Name
+	case FmtRdRs:
+		return fmt.Sprintf("%s r%d, r%d", sp.Name, i.A, i.B)
+	case FmtRdImm8:
+		return fmt.Sprintf("%s r%d, %d", sp.Name, i.A, i.Imm)
+	case FmtRdAddr:
+		return fmt.Sprintf("%s r%d, %d", sp.Name, i.A, i.Imm)
+	case FmtAddrRs:
+		return fmt.Sprintf("%s %d, r%d", sp.Name, i.Imm, i.B)
+	case FmtRdAddrRi:
+		return fmt.Sprintf("%s r%d, %d, r%d", sp.Name, i.A, i.Imm, i.B)
+	case FmtAddrRiRs:
+		return fmt.Sprintf("%s %d, r%d, r%d", sp.Name, i.Imm, i.A, i.B)
+	case FmtRd:
+		return fmt.Sprintf("%s r%d", sp.Name, i.A)
+	case FmtRs:
+		return fmt.Sprintf("%s r%d", sp.Name, i.B)
+	case FmtAddr:
+		return fmt.Sprintf("%s %d", sp.Name, i.Imm)
+	case FmtRdPort:
+		return fmt.Sprintf("%s r%d, %d", sp.Name, i.A, i.Imm)
+	case FmtPortRs:
+		return fmt.Sprintf("%s %d, r%d", sp.Name, i.Imm, i.B)
+	case FmtImm8:
+		return fmt.Sprintf("%s %d", sp.Name, i.Imm)
+	}
+	return sp.Name
+}

@@ -1,0 +1,223 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Op(1); op < opMax; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Error("OpByName accepted an unknown mnemonic")
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if Op(0).Valid() {
+		t.Error("opcode 0 must be invalid")
+	}
+	if opMax.Valid() {
+		t.Error("opMax must be invalid")
+	}
+	for op := Op(1); op < opMax; op++ {
+		if !op.Valid() {
+			t.Errorf("opcode %d should be valid", op)
+		}
+		sp := op.Spec()
+		if sp.Name == "" || sp.Cycles == 0 {
+			t.Errorf("opcode %d has incomplete spec %+v", op, sp)
+		}
+	}
+}
+
+func TestSpecPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spec on invalid opcode did not panic")
+		}
+	}()
+	Op(0).Spec()
+}
+
+// legalInstr builds a well-formed instruction of the given opcode using
+// bounded operand fields.
+func legalInstr(op Op, a, b uint8, imm uint16) Instr {
+	in := Instr{Op: op}
+	switch op.Spec().Format {
+	case FmtNone:
+	case FmtRdRs:
+		in.A, in.B = a&0x0f, b&0x0f
+	case FmtRdImm8, FmtRdPort:
+		in.A, in.Imm = a&0x0f, imm&0xff
+	case FmtRdAddr:
+		in.A, in.Imm = a&0x0f, imm
+	case FmtAddrRs:
+		in.B, in.Imm = b&0x0f, imm
+	case FmtRdAddrRi:
+		in.A, in.B, in.Imm = a&0x0f, b&0x0f, imm
+	case FmtAddrRiRs:
+		in.A, in.B, in.Imm = a&0x0f, b&0x0f, imm
+	case FmtRd:
+		in.A = a & 0x0f
+	case FmtRs:
+		in.B = b & 0x0f
+	case FmtAddr:
+		in.Imm = imm
+	case FmtPortRs:
+		in.B, in.Imm = b&0x0f, imm&0xff
+	case FmtImm8:
+		in.Imm = imm & 0xff
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	check := func(opRaw, a, b uint8, imm uint16) bool {
+		op := Op(opRaw%uint8(opMax-1)) + 1
+		in := legalInstr(op, a, b, imm)
+		decoded, err := Decode(in.Encode())
+		return err == nil && decoded == in
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsUndefinedOpcode(t *testing.T) {
+	if _, err := Decode(0x00_00_00_00); err == nil {
+		t.Error("Decode accepted opcode 0")
+	}
+	if _, err := Decode(uint32(opMax) << 24); err == nil {
+		t.Error("Decode accepted opcode beyond the set")
+	}
+}
+
+func TestValidateRejectsStrayOperands(t *testing.T) {
+	tests := []Instr{
+		{Op: NOP, A: 1},                 // NOP uses no registers
+		{Op: RET, B: 2},                 // RET uses no registers
+		{Op: LDI, A: 1, Imm: 0x1ff},     // 8-bit immediate overflow
+		{Op: POST, Imm: 300},            // task id overflow
+		{Op: IN, A: 1, B: 3, Imm: 0x20}, // IN does not use B
+		{Op: JMP, A: 5, Imm: 0},         // JMP does not use A
+	}
+	for _, in := range tests {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", in)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: NOP}, "nop"},
+		{Instr{Op: MOV, A: 1, B: 2}, "mov r1, r2"},
+		{Instr{Op: LDI, A: 3, Imm: 42}, "ldi r3, 42"},
+		{Instr{Op: STS, B: 4, Imm: 100}, "sts 100, r4"},
+		{Instr{Op: LDX, A: 5, B: 6, Imm: 200}, "ldx r5, 200, r6"},
+		{Instr{Op: STX, A: 7, B: 8, Imm: 300}, "stx 300, r7, r8"},
+		{Instr{Op: JMP, Imm: 12}, "jmp 12"},
+		{Instr{Op: IN, A: 2, Imm: 0x21}, "in r2, 33"},
+		{Instr{Op: OUT, B: 9, Imm: 0x30}, "out 48, r9"},
+		{Instr{Op: POST, Imm: 3}, "post 3"},
+		{Instr{Op: PUSH, B: 1}, "push r1"},
+		{Instr{Op: POP, A: 1}, "pop r1"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func validProgram() *Program {
+	return &Program{
+		Code: []Instr{
+			{Op: LDI, A: 0, Imm: 1},
+			{Op: SEI},
+			{Op: OSRUN},
+			{Op: RETI},
+			{Op: RET},
+		},
+		Entry:   0,
+		Vectors: map[int]uint16{1: 3},
+		Tasks:   map[int]uint16{0: 4},
+	}
+}
+
+func TestProgramValidateOK(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestProgramValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Program)
+	}{
+		{"empty", func(p *Program) { p.Code = nil }},
+		{"entry outside", func(p *Program) { p.Entry = 99 }},
+		{"vector outside", func(p *Program) { p.Vectors[1] = 99 }},
+		{"vector irq out of range", func(p *Program) { p.Vectors[-1] = 0 }},
+		{"task outside", func(p *Program) { p.Tasks[0] = 99 }},
+		{"task id out of range", func(p *Program) { p.Tasks[999] = 0 }},
+		{"jump outside", func(p *Program) { p.Code[0] = Instr{Op: JMP, Imm: 99} }},
+		{"invalid instr", func(p *Program) { p.Code[0] = Instr{Op: Op(0)} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validProgram()
+			tt.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Error("mutated program accepted")
+			}
+		})
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	p := validProgram()
+	p.Symbols = map[uint16][]string{
+		0: {"boot"},
+		3: {"isr"},
+		4: {"task"},
+	}
+	tests := []struct {
+		addr uint16
+		want string
+	}{
+		{0, "boot"},
+		{1, "boot+1"},
+		{2, "boot+2"},
+		{3, "isr"},
+		{4, "task"},
+	}
+	for _, tt := range tests {
+		if got := p.SymbolAt(tt.addr); got != tt.want {
+			t.Errorf("SymbolAt(%d) = %q, want %q", tt.addr, got, tt.want)
+		}
+	}
+	var empty Program
+	if got := empty.SymbolAt(0); got != "" {
+		t.Errorf("SymbolAt on symbol-less program = %q", got)
+	}
+}
+
+func TestDisassembleMentionsStructure(t *testing.T) {
+	text := validProgram().Disassemble()
+	for _, want := range []string{".vector 1,", ".task 0,", ".entry", "osrun", "reti", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}

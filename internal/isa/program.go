@@ -1,0 +1,165 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RAMSize is the data-memory size of an SVM-8 node in bytes. The stack
+// pointer is initialized to RAMSize-1 and grows downward.
+const RAMSize = 4096
+
+// Program is a fully linked SVM-8 binary: the code image plus the metadata
+// the runtime needs (interrupt vectors, task entry points, boot entry) and
+// the metadata humans need when inspecting a suspicious interval (symbols
+// and source lines).
+type Program struct {
+	// Code is the word-addressed instruction image. The instruction
+	// counter of Definition 4 has exactly len(Code) dimensions.
+	Code []Instr
+
+	// Entry is the code address where boot execution starts.
+	Entry uint16
+
+	// Vectors maps an IRQ number to its handler's entry address
+	// (the assembler's .vector directive).
+	Vectors map[int]uint16
+
+	// Tasks maps a task ID to its entry address (.task directive).
+	// Task bodies end with RET.
+	Tasks map[int]uint16
+
+	// Symbols maps a code address to the label(s) defined there, most
+	// useful for rendering rankings back to source constructs.
+	Symbols map[uint16][]string
+
+	// Lines maps a code address to its 1-based source line in the
+	// assembly file, when the program was assembled from text.
+	Lines map[uint16]int
+}
+
+// Validate checks structural well-formedness: every instruction valid,
+// entry, vectors and task entries within the code image.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("isa: empty program")
+	}
+	if len(p.Code) > 0xffff {
+		return fmt.Errorf("isa: program of %d words exceeds 16-bit code space", len(p.Code))
+	}
+	for pc, in := range p.Code {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("isa: at %#04x: %w", pc, err)
+		}
+		if t := jumpTarget(in); t >= 0 && t >= len(p.Code) {
+			return fmt.Errorf("isa: at %#04x: %s targets %#04x outside code", pc, in.Op, t)
+		}
+	}
+	if int(p.Entry) >= len(p.Code) {
+		return fmt.Errorf("isa: entry %#04x outside code", p.Entry)
+	}
+	for irq, addr := range p.Vectors {
+		if irq < 0 || irq > 255 {
+			return fmt.Errorf("isa: vector for out-of-range irq %d", irq)
+		}
+		if int(addr) >= len(p.Code) {
+			return fmt.Errorf("isa: vector %d entry %#04x outside code", irq, addr)
+		}
+	}
+	for id, addr := range p.Tasks {
+		if id < 0 || id > 255 {
+			return fmt.Errorf("isa: out-of-range task id %d", id)
+		}
+		if int(addr) >= len(p.Code) {
+			return fmt.Errorf("isa: task %d entry %#04x outside code", id, addr)
+		}
+	}
+	return nil
+}
+
+// jumpTarget returns in's static control-flow target address, or -1 when in
+// has none.
+func jumpTarget(in Instr) int {
+	switch in.Op {
+	case JMP, CALL, BREQ, BRNE, BRCS, BRCC, BRLT, BRGE:
+		return int(in.Imm)
+	}
+	return -1
+}
+
+// SymbolAt returns the best symbolic name for code address addr: the nearest
+// label at or before addr, with a +offset suffix when not exact. It returns
+// "" when the program has no symbols.
+func (p *Program) SymbolAt(addr uint16) string {
+	if len(p.Symbols) == 0 {
+		return ""
+	}
+	best := -1
+	var name string
+	for a, labels := range p.Symbols {
+		if a <= addr && int(a) > best {
+			best = int(a)
+			name = labels[0]
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	if off := int(addr) - best; off != 0 {
+		return fmt.Sprintf("%s+%d", name, off)
+	}
+	return name
+}
+
+// Disassemble renders the whole program as assembler text with labels,
+// vector and task directives. The output round-trips through the assembler.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	irqs := make([]int, 0, len(p.Vectors))
+	for irq := range p.Vectors {
+		irqs = append(irqs, irq)
+	}
+	sort.Ints(irqs)
+	for _, irq := range irqs {
+		fmt.Fprintf(&b, ".vector %d, L%04x\n", irq, p.Vectors[irq])
+	}
+	ids := make([]int, 0, len(p.Tasks))
+	for id := range p.Tasks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, ".task %d, L%04x\n", id, p.Tasks[id])
+	}
+	fmt.Fprintf(&b, ".entry L%04x\n", p.Entry)
+
+	// Every address that is a label target gets an "Lxxxx:" line so the
+	// text reassembles identically.
+	targets := map[uint16]bool{p.Entry: true}
+	for _, a := range p.Vectors {
+		targets[a] = true
+	}
+	for _, a := range p.Tasks {
+		targets[a] = true
+	}
+	for _, in := range p.Code {
+		if t := jumpTarget(in); t >= 0 {
+			targets[uint16(t)] = true
+		}
+	}
+	for pc, in := range p.Code {
+		if targets[uint16(pc)] {
+			fmt.Fprintf(&b, "L%04x:\n", pc)
+		}
+		if t := jumpTarget(in); t >= 0 {
+			// Re-render with a symbolic target.
+			s := in.String()
+			idx := strings.LastIndexByte(s, ' ')
+			fmt.Fprintf(&b, "\t%s L%04x\n", s[:idx], t)
+			continue
+		}
+		fmt.Fprintf(&b, "\t%s\n", in)
+	}
+	return b.String()
+}

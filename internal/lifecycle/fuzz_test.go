@@ -1,0 +1,111 @@
+package lifecycle_test
+
+import (
+	"testing"
+
+	"sentomist/internal/asm"
+	"sentomist/internal/dev"
+	"sentomist/internal/node"
+	"sentomist/internal/randx"
+	"sentomist/internal/sim"
+	"sentomist/internal/trace"
+)
+
+// fuzzTargetSource is an application with every structural feature the
+// Figure-4 algorithm must handle: three event types, handlers that post
+// zero, one, or two tasks, tasks that post tasks, a preemptible handler,
+// and a long task that is routinely preempted.
+const fuzzTargetSource = `
+.var acc
+
+.vector 1, h_plain
+.vector 2, h_posting
+.vector 3, h_preemptible
+.task 0, t_chain
+.task 1, t_leaf
+.task 2, t_long
+.entry boot
+
+boot:
+	sei
+	osrun
+
+h_plain:
+	push r0
+	lds  r0, acc
+	inc  r0
+	sts  acc, r0
+	pop  r0
+	reti
+
+h_posting:
+	post 0
+	post 2
+	reti
+
+h_preemptible:
+	sei
+	push r0
+	ldi  r0, 30
+hp_spin:
+	dec  r0
+	brne hp_spin
+	pop  r0
+	post 1
+	reti
+
+t_chain:
+	post 1
+	ret
+
+t_leaf:
+	push r0
+	lds  r0, acc
+	inc  r0
+	sts  acc, r0
+	pop  r0
+	ret
+
+t_long:
+	push r0
+	ldi  r0, 0
+tl_spin:
+	dec  r0
+	brne tl_spin
+	pop  r0
+	ret
+`
+
+// TestExtractionMatchesTruthUnderRandomInterrupts drives the target with a
+// Regehr-style random interrupt schedule — the hostile interleavings the
+// paper says periodic testing cannot produce — and checks that black-box
+// interval identification still matches the runtime's ground truth
+// everywhere.
+func TestExtractionMatchesTruthUnderRandomInterrupts(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		r, err := asm.String(fuzzTargetSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := node.New(node.Config{ID: 1, Program: r.Program, Truth: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Attach(dev.NewFuzzer(n, randx.New(seed), []int{1, 2, 3}, 40, 2500))
+		s := sim.New(seed, []*node.Node{n}, nil)
+		if err := s.Run(500_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		nt := n.Trace()
+		if err := (&trace.Trace{Nodes: []*trace.NodeTrace{nt}}).Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		verified := verifyNode(t, nt)
+		if verified < 200 {
+			t.Fatalf("seed %d: verified only %d intervals", seed, verified)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d: ground-truth mismatches above", seed)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package lifecycle
+
+import "sentomist/internal/trace"
+
+// Grammar provides two independent recognizers for the int-reti string
+// language of Definition 3:
+//
+//	S -> int(n) R reti
+//	R -> P | P S R
+//	P -> postTask P | ε
+//
+// RecognizePDA is the pushdown-automaton recognizer the analyzer uses in
+// production; RecognizeCFG is a direct recursive-descent rendering of the
+// grammar. Property tests check the two agree on random item strings.
+
+// RecognizePDA reports whether items is exactly one int-reti string, using
+// a depth-counter pushdown automaton.
+func RecognizePDA(items []Item) bool {
+	if len(items) == 0 || items[0].Kind != trace.Int {
+		return false
+	}
+	depth := 0
+	for i, it := range items {
+		switch it.Kind {
+		case trace.Int:
+			depth++
+		case trace.Reti:
+			depth--
+			if depth < 0 {
+				return false
+			}
+			if depth == 0 && i != len(items)-1 {
+				// A proper prefix matched: int(n) and reti are
+				// nested, so the whole string must be consumed.
+				return false
+			}
+		case trace.PostTask:
+			if depth == 0 {
+				return false
+			}
+		case trace.RunTask:
+			return false
+		}
+	}
+	return depth == 0
+}
+
+// RecognizeCFG reports whether items derives from S in the grammar, by
+// recursive descent.
+func RecognizeCFG(items []Item) bool {
+	n, ok := parseS(items, 0)
+	return ok && n == len(items)
+}
+
+// parseS consumes one S starting at pos; it returns the index just past the
+// consumed string.
+func parseS(items []Item, pos int) (int, bool) {
+	if pos >= len(items) || items[pos].Kind != trace.Int {
+		return 0, false
+	}
+	pos++
+	pos = parseR(items, pos)
+	if pos >= len(items) || items[pos].Kind != trace.Reti {
+		return 0, false
+	}
+	return pos + 1, true
+}
+
+// parseR consumes the longest R (greedy is safe: R's followers are only
+// reti, and neither P nor S can start with reti).
+func parseR(items []Item, pos int) int {
+	for {
+		pos = parseP(items, pos)
+		next, ok := parseS(items, pos)
+		if !ok {
+			return pos
+		}
+		pos = next
+	}
+}
+
+// parseP consumes zero or more postTask items.
+func parseP(items []Item, pos int) int {
+	for pos < len(items) && items[pos].Kind == trace.PostTask {
+		pos++
+	}
+	return pos
+}

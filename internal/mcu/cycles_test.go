@@ -1,0 +1,90 @@
+package mcu
+
+import (
+	"testing"
+
+	"sentomist/internal/isa"
+)
+
+// TestEveryOpcodeCycleCost executes each opcode once in a minimal context
+// and checks that Step reports exactly the ISA's declared cycle cost
+// (+1 for taken branches) — the substrate's timing contract.
+func TestEveryOpcodeCycleCost(t *testing.T) {
+	type tc struct {
+		name       string
+		code       []isa.Instr
+		stepIdx    int // which step's cycle count is checked
+		wantExtra  int // beyond the opcode's Spec().Cycles
+		wantOpcode isa.Op
+	}
+	cases := []tc{
+		{"nop", []isa.Instr{{Op: isa.NOP}, {Op: isa.HALT}}, 0, 0, isa.NOP},
+		{"mov", []isa.Instr{{Op: isa.MOV, A: 1, B: 2}, {Op: isa.HALT}}, 0, 0, isa.MOV},
+		{"ldi", []isa.Instr{{Op: isa.LDI, A: 1, Imm: 3}, {Op: isa.HALT}}, 0, 0, isa.LDI},
+		{"lds", []isa.Instr{{Op: isa.LDS, A: 1, Imm: 10}, {Op: isa.HALT}}, 0, 0, isa.LDS},
+		{"sts", []isa.Instr{{Op: isa.STS, B: 1, Imm: 10}, {Op: isa.HALT}}, 0, 0, isa.STS},
+		{"ldx", []isa.Instr{{Op: isa.LDX, A: 1, B: 2, Imm: 10}, {Op: isa.HALT}}, 0, 0, isa.LDX},
+		{"stx", []isa.Instr{{Op: isa.STX, A: 1, B: 2, Imm: 10}, {Op: isa.HALT}}, 0, 0, isa.STX},
+		{"add", []isa.Instr{{Op: isa.ADD, A: 1, B: 2}, {Op: isa.HALT}}, 0, 0, isa.ADD},
+		{"cp", []isa.Instr{{Op: isa.CP, A: 1, B: 2}, {Op: isa.HALT}}, 0, 0, isa.CP},
+		{"inc", []isa.Instr{{Op: isa.INC, A: 1}, {Op: isa.HALT}}, 0, 0, isa.INC},
+		{"shl", []isa.Instr{{Op: isa.SHL, A: 1}, {Op: isa.HALT}}, 0, 0, isa.SHL},
+		{"jmp", []isa.Instr{{Op: isa.JMP, Imm: 1}, {Op: isa.HALT}}, 0, 0, isa.JMP},
+		{"branch not taken", []isa.Instr{{Op: isa.LDI, A: 0, Imm: 1}, {Op: isa.CPI, A: 0, Imm: 0}, {Op: isa.BREQ, Imm: 0}, {Op: isa.HALT}}, 2, 0, isa.BREQ},
+		{"branch taken", []isa.Instr{{Op: isa.LDI, A: 0, Imm: 0}, {Op: isa.CPI, A: 0, Imm: 0}, {Op: isa.BREQ, Imm: 3}, {Op: isa.HALT}}, 2, 1, isa.BREQ},
+		{"call", []isa.Instr{{Op: isa.CALL, Imm: 1}, {Op: isa.HALT}}, 0, 0, isa.CALL},
+		{"ret", []isa.Instr{{Op: isa.CALL, Imm: 2}, {Op: isa.HALT}, {Op: isa.RET}}, 1, 0, isa.RET},
+		{"push", []isa.Instr{{Op: isa.PUSH, B: 1}, {Op: isa.HALT}}, 0, 0, isa.PUSH},
+		{"pop", []isa.Instr{{Op: isa.PUSH, B: 1}, {Op: isa.POP, A: 2}, {Op: isa.HALT}}, 1, 0, isa.POP},
+		{"in", []isa.Instr{{Op: isa.IN, A: 1, Imm: 5}, {Op: isa.HALT}}, 0, 0, isa.IN},
+		{"out", []isa.Instr{{Op: isa.OUT, B: 1, Imm: 5}, {Op: isa.HALT}}, 0, 0, isa.OUT},
+		{"sei", []isa.Instr{{Op: isa.SEI}, {Op: isa.HALT}}, 0, 0, isa.SEI},
+		{"sleep", []isa.Instr{{Op: isa.SLEEP}, {Op: isa.HALT}}, 0, 0, isa.SLEEP},
+		{"post", []isa.Instr{{Op: isa.POST, Imm: 0}, {Op: isa.HALT}, {Op: isa.RET}}, 0, 0, isa.POST},
+		{"osrun", []isa.Instr{{Op: isa.OSRUN}, {Op: isa.HALT}}, 0, 0, isa.OSRUN},
+		{"halt", []isa.Instr{{Op: isa.HALT}}, 0, 0, isa.HALT},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog := &isa.Program{Code: c.code, Tasks: map[int]uint16{0: uint16(len(c.code) - 1)}}
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			cpu := New(prog, newFakeBus(), nil)
+			var got int
+			for i := 0; i <= c.stepIdx; i++ {
+				n, _, err := cpu.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = n
+			}
+			want := int(c.wantOpcode.Spec().Cycles) + c.wantExtra
+			if got != want {
+				t.Fatalf("%s cost %d cycles, want %d", c.wantOpcode, got, want)
+			}
+		})
+	}
+}
+
+// TestRetiCycleCost checks RETI through a real dispatch.
+func TestRetiCycleCost(t *testing.T) {
+	prog := &isa.Program{
+		Code:    []isa.Instr{{Op: isa.NOP}, {Op: isa.HALT}, {Op: isa.RETI}},
+		Vectors: map[int]uint16{1: 2},
+	}
+	cpu := New(prog, newFakeBus(), nil)
+	if _, err := cpu.Interrupt(2); err != nil {
+		t.Fatal(err)
+	}
+	n, ev, err := cpu.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != EvIntRet {
+		t.Fatalf("event %v", ev)
+	}
+	if n != int(isa.RETI.Spec().Cycles) {
+		t.Fatalf("RETI cost %d", n)
+	}
+}

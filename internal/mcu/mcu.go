@@ -1,0 +1,393 @@
+// Package mcu implements the cycle-accurate SVM-8 processor core.
+//
+// The CPU is deliberately a pure machine: it executes instructions, tracks
+// flags, RAM, the stack, and per-instruction execution counts, and reports
+// OS-relevant events (task posts, scheduler handoff, sleep, returns) to its
+// caller. Interrupt dispatch, the TinyOS-style task queue, and lifecycle
+// trace emission are orchestrated by the node runtime (package node), which
+// is what makes the concurrency rules of the paper's Section III explicit
+// and testable.
+package mcu
+
+import (
+	"fmt"
+
+	"sentomist/internal/isa"
+)
+
+// Bus is the I/O port bus the CPU reads and writes with IN/OUT. Devices
+// (package dev) implement it.
+type Bus interface {
+	In(port uint8) uint8
+	Out(port uint8, v uint8)
+}
+
+// Event tells the caller that the last Step crossed an OS boundary.
+type Event uint8
+
+// Step events.
+const (
+	EvNone    Event = iota // ordinary instruction
+	EvPost                 // POST executed; PostedTask holds the task ID
+	EvOSRun                // OSRUN executed: boot code hands over to the scheduler
+	EvSleep                // SLEEP executed: idle until an interrupt
+	EvTaskRet              // RET popped the task sentinel: current task finished
+	EvIntRet               // RETI executed: innermost handler finished
+	EvHalt                 // HALT executed: node stops
+)
+
+// TaskSentinel is the return address pushed when the scheduler enters a
+// task; RET to this address signals task completion rather than a jump.
+const TaskSentinel = 0xffff
+
+// Cost constants for operations performed by the runtime rather than by an
+// instruction.
+const (
+	// InterruptCycles is the hardware dispatch cost (vector fetch + PC push).
+	InterruptCycles = 4
+	// TaskEnterCycles is the scheduler's cost to pop the queue and call a task.
+	TaskEnterCycles = 2
+)
+
+// Fault is a machine fault: the emulated program did something undefined
+// (bad address, stack overflow, PC escape). Faults indicate a bug in an
+// application program or the runtime, so they carry enough state to debug.
+type Fault struct {
+	PC     uint16
+	Op     isa.Op
+	Detail string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mcu: fault at %#04x (%s): %s", f.PC, f.Op, f.Detail)
+}
+
+// CPU is one SVM-8 core. Create with New.
+type CPU struct {
+	prog *isa.Program
+
+	Regs [isa.NumRegisters]uint8
+	RAM  []byte
+	PC   uint16
+	SP   uint16
+
+	// Flags.
+	Z, N, C bool
+	// I is the global interrupt-enable flag (SEI/CLI; cleared on
+	// interrupt entry, restored by RETI).
+	I bool
+
+	// IntDepth is the number of nested interrupt handlers currently on
+	// the stack. The runtime uses it to enforce "tasks run only when no
+	// handler is active" (Rule 2/3).
+	IntDepth int
+
+	// Halted is set by HALT; the CPU refuses to step further.
+	Halted bool
+
+	bus     Bus
+	countPC func(uint16)
+
+	// PostedTask holds the task ID after a Step that returned EvPost.
+	PostedTask int
+}
+
+// New creates a CPU executing prog with the given I/O bus. countPC, if
+// non-nil, is invoked once per executed instruction with its address (the
+// hook behind Definition 4's instruction counter). The program must have
+// been validated.
+func New(prog *isa.Program, bus Bus, countPC func(uint16)) *CPU {
+	c := &CPU{
+		prog:    prog,
+		RAM:     make([]byte, isa.RAMSize),
+		PC:      prog.Entry,
+		SP:      isa.RAMSize - 1,
+		bus:     bus,
+		countPC: countPC,
+	}
+	return c
+}
+
+// Program returns the binary the CPU executes.
+func (c *CPU) Program() *isa.Program { return c.prog }
+
+// Interrupt dispatches the handler at vector: pushes the current PC, clears
+// the I flag (AVR-style; handlers re-enable with SEI if they accept
+// preemption), and jumps. It returns the cycle cost.
+func (c *CPU) Interrupt(vector uint16) (int, error) {
+	if err := c.push16(c.PC); err != nil {
+		return 0, err
+	}
+	c.I = false
+	c.IntDepth++
+	c.PC = vector
+	return InterruptCycles, nil
+}
+
+// EnterTask makes the CPU execute the task body at entry; the task's
+// top-level RET yields EvTaskRet. It returns the cycle cost.
+func (c *CPU) EnterTask(entry uint16) (int, error) {
+	if err := c.push16(TaskSentinel); err != nil {
+		return 0, err
+	}
+	c.PC = entry
+	return TaskEnterCycles, nil
+}
+
+// Step executes one instruction. It returns the consumed cycles and the OS
+// event the instruction produced, if any. Stepping a halted CPU is an error.
+func (c *CPU) Step() (int, Event, error) {
+	if c.Halted {
+		return 0, EvNone, &Fault{PC: c.PC, Detail: "step on halted CPU"}
+	}
+	if int(c.PC) >= len(c.prog.Code) {
+		return 0, EvNone, &Fault{PC: c.PC, Detail: "PC outside code"}
+	}
+	pc := c.PC
+	in := c.prog.Code[pc]
+	if c.countPC != nil {
+		c.countPC(pc)
+	}
+	c.PC++
+	cycles := int(in.Op.Spec().Cycles)
+
+	fault := func(detail string) (int, Event, error) {
+		return 0, EvNone, &Fault{PC: pc, Op: in.Op, Detail: detail}
+	}
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.MOV:
+		c.Regs[in.A] = c.Regs[in.B]
+	case isa.LDI:
+		c.Regs[in.A] = uint8(in.Imm)
+	case isa.LDS:
+		v, err := c.load(in.Imm)
+		if err != nil {
+			return fault(err.Error())
+		}
+		c.Regs[in.A] = v
+	case isa.STS:
+		if err := c.store(in.Imm, c.Regs[in.B]); err != nil {
+			return fault(err.Error())
+		}
+	case isa.LDX:
+		v, err := c.load(in.Imm + uint16(c.Regs[in.B]))
+		if err != nil {
+			return fault(err.Error())
+		}
+		c.Regs[in.A] = v
+	case isa.STX:
+		if err := c.store(in.Imm+uint16(c.Regs[in.A]), c.Regs[in.B]); err != nil {
+			return fault(err.Error())
+		}
+	case isa.ADD:
+		c.Regs[in.A] = c.add(c.Regs[in.A], c.Regs[in.B], false)
+	case isa.ADC:
+		c.Regs[in.A] = c.add(c.Regs[in.A], c.Regs[in.B], c.C)
+	case isa.SUB:
+		c.Regs[in.A] = c.sub(c.Regs[in.A], c.Regs[in.B], false)
+	case isa.SBC:
+		c.Regs[in.A] = c.sub(c.Regs[in.A], c.Regs[in.B], c.C)
+	case isa.AND:
+		c.Regs[in.A] = c.logic(c.Regs[in.A] & c.Regs[in.B])
+	case isa.OR:
+		c.Regs[in.A] = c.logic(c.Regs[in.A] | c.Regs[in.B])
+	case isa.XOR:
+		c.Regs[in.A] = c.logic(c.Regs[in.A] ^ c.Regs[in.B])
+	case isa.ADDI:
+		c.Regs[in.A] = c.add(c.Regs[in.A], uint8(in.Imm), false)
+	case isa.SUBI:
+		c.Regs[in.A] = c.sub(c.Regs[in.A], uint8(in.Imm), false)
+	case isa.ANDI:
+		c.Regs[in.A] = c.logic(c.Regs[in.A] & uint8(in.Imm))
+	case isa.ORI:
+		c.Regs[in.A] = c.logic(c.Regs[in.A] | uint8(in.Imm))
+	case isa.XORI:
+		c.Regs[in.A] = c.logic(c.Regs[in.A] ^ uint8(in.Imm))
+	case isa.CP:
+		c.sub(c.Regs[in.A], c.Regs[in.B], false)
+	case isa.CPI:
+		c.sub(c.Regs[in.A], uint8(in.Imm), false)
+	case isa.INC:
+		c.Regs[in.A]++
+		c.setZN(c.Regs[in.A])
+	case isa.DEC:
+		c.Regs[in.A]--
+		c.setZN(c.Regs[in.A])
+	case isa.SHL:
+		c.C = c.Regs[in.A]&0x80 != 0
+		c.Regs[in.A] <<= 1
+		c.setZN(c.Regs[in.A])
+	case isa.SHR:
+		c.C = c.Regs[in.A]&0x01 != 0
+		c.Regs[in.A] >>= 1
+		c.setZN(c.Regs[in.A])
+	case isa.JMP:
+		c.PC = in.Imm
+	case isa.BREQ, isa.BRNE, isa.BRCS, isa.BRCC, isa.BRLT, isa.BRGE:
+		if c.cond(in.Op) {
+			c.PC = in.Imm
+			cycles++ // taken-branch penalty
+		}
+	case isa.CALL:
+		if err := c.push16(c.PC); err != nil {
+			return fault(err.Error())
+		}
+		c.PC = in.Imm
+	case isa.RET:
+		addr, err := c.pop16()
+		if err != nil {
+			return fault(err.Error())
+		}
+		if addr == TaskSentinel {
+			return cycles, EvTaskRet, nil
+		}
+		c.PC = addr
+	case isa.RETI:
+		addr, err := c.pop16()
+		if err != nil {
+			return fault(err.Error())
+		}
+		if c.IntDepth == 0 {
+			return fault("RETI outside interrupt handler")
+		}
+		c.PC = addr
+		c.I = true
+		c.IntDepth--
+		return cycles, EvIntRet, nil
+	case isa.PUSH:
+		if err := c.push8(c.Regs[in.B]); err != nil {
+			return fault(err.Error())
+		}
+	case isa.POP:
+		v, err := c.pop8()
+		if err != nil {
+			return fault(err.Error())
+		}
+		c.Regs[in.A] = v
+	case isa.IN:
+		c.Regs[in.A] = c.bus.In(uint8(in.Imm))
+	case isa.OUT:
+		c.bus.Out(uint8(in.Imm), c.Regs[in.B])
+	case isa.SEI:
+		c.I = true
+	case isa.CLI:
+		c.I = false
+	case isa.SLEEP:
+		return cycles, EvSleep, nil
+	case isa.POST:
+		c.PostedTask = int(in.Imm)
+		return cycles, EvPost, nil
+	case isa.OSRUN:
+		return cycles, EvOSRun, nil
+	case isa.HALT:
+		c.Halted = true
+		return cycles, EvHalt, nil
+	default:
+		return fault("unimplemented opcode")
+	}
+	return cycles, EvNone, nil
+}
+
+func (c *CPU) cond(op isa.Op) bool {
+	switch op {
+	case isa.BREQ:
+		return c.Z
+	case isa.BRNE:
+		return !c.Z
+	case isa.BRCS:
+		return c.C
+	case isa.BRCC:
+		return !c.C
+	case isa.BRLT:
+		return c.N
+	case isa.BRGE:
+		return !c.N
+	}
+	return false
+}
+
+func (c *CPU) setZN(v uint8) {
+	c.Z = v == 0
+	c.N = v&0x80 != 0
+}
+
+func (c *CPU) logic(v uint8) uint8 {
+	c.setZN(v)
+	c.C = false
+	return v
+}
+
+func (c *CPU) add(a, b uint8, carry bool) uint8 {
+	sum := uint16(a) + uint16(b)
+	if carry {
+		sum++
+	}
+	v := uint8(sum)
+	c.C = sum > 0xff
+	c.setZN(v)
+	return v
+}
+
+func (c *CPU) sub(a, b uint8, borrow bool) uint8 {
+	d := uint16(a) - uint16(b)
+	if borrow {
+		d--
+	}
+	v := uint8(d)
+	c.C = d > 0xff // borrow occurred
+	c.setZN(v)
+	return v
+}
+
+func (c *CPU) load(addr uint16) (uint8, error) {
+	if int(addr) >= len(c.RAM) {
+		return 0, fmt.Errorf("load from %#04x outside %d-byte RAM", addr, len(c.RAM))
+	}
+	return c.RAM[addr], nil
+}
+
+func (c *CPU) store(addr uint16, v uint8) error {
+	if int(addr) >= len(c.RAM) {
+		return fmt.Errorf("store to %#04x outside %d-byte RAM", addr, len(c.RAM))
+	}
+	c.RAM[addr] = v
+	return nil
+}
+
+func (c *CPU) push8(v uint8) error {
+	if c.SP == 0 {
+		return fmt.Errorf("stack overflow (SP=0)")
+	}
+	c.RAM[c.SP] = v
+	c.SP--
+	return nil
+}
+
+func (c *CPU) pop8() (uint8, error) {
+	if int(c.SP)+1 >= len(c.RAM) {
+		return 0, fmt.Errorf("stack underflow (SP=%#04x)", c.SP)
+	}
+	c.SP++
+	return c.RAM[c.SP], nil
+}
+
+func (c *CPU) push16(v uint16) error {
+	if err := c.push8(uint8(v >> 8)); err != nil {
+		return err
+	}
+	return c.push8(uint8(v))
+}
+
+func (c *CPU) pop16() (uint16, error) {
+	lo, err := c.pop8()
+	if err != nil {
+		return 0, err
+	}
+	hi, err := c.pop8()
+	if err != nil {
+		return 0, err
+	}
+	return uint16(hi)<<8 | uint16(lo), nil
+}

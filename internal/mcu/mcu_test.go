@@ -1,0 +1,516 @@
+package mcu
+
+import (
+	"strings"
+	"testing"
+
+	"sentomist/internal/isa"
+)
+
+// fakeBus records port traffic and serves canned reads.
+type fakeBus struct {
+	reads  map[uint8]uint8
+	writes []struct {
+		port, v uint8
+	}
+}
+
+func newFakeBus() *fakeBus { return &fakeBus{reads: make(map[uint8]uint8)} }
+
+func (b *fakeBus) In(port uint8) uint8 { return b.reads[port] }
+func (b *fakeBus) Out(port uint8, v uint8) {
+	b.writes = append(b.writes, struct{ port, v uint8 }{port, v})
+}
+
+// runCPU builds a CPU over the given code and steps it until an event other
+// than EvNone, a fault, or maxSteps.
+func runCPU(t *testing.T, code []isa.Instr, maxSteps int) (*CPU, int) {
+	t.Helper()
+	prog := &isa.Program{Code: code}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	c := New(prog, newFakeBus(), nil)
+	cycles := 0
+	for i := 0; i < maxSteps; i++ {
+		n, ev, err := c.Step()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		cycles += n
+		if ev == EvHalt {
+			return c, cycles
+		}
+	}
+	return c, cycles
+}
+
+func TestArithmeticAndFlags(t *testing.T) {
+	tests := []struct {
+		name  string
+		code  []isa.Instr
+		reg   uint8
+		want  uint8
+		wantZ bool
+		wantN bool
+		wantC bool
+	}{
+		{"add", []isa.Instr{
+			{Op: isa.LDI, A: 0, Imm: 200},
+			{Op: isa.LDI, A: 1, Imm: 100},
+			{Op: isa.ADD, A: 0, B: 1},
+			{Op: isa.HALT},
+		}, 0, 44, false, false, true},
+		{"adc uses carry", []isa.Instr{
+			{Op: isa.LDI, A: 0, Imm: 255},
+			{Op: isa.LDI, A: 1, Imm: 1},
+			{Op: isa.ADD, A: 0, B: 1}, // 0, C=1
+			{Op: isa.LDI, A: 0, Imm: 5},
+			{Op: isa.ADC, A: 0, B: 1}, // 5+1+1
+			{Op: isa.HALT},
+		}, 0, 7, false, false, false},
+		{"sub borrow", []isa.Instr{
+			{Op: isa.LDI, A: 0, Imm: 5},
+			{Op: isa.LDI, A: 1, Imm: 10},
+			{Op: isa.SUB, A: 0, B: 1},
+			{Op: isa.HALT},
+		}, 0, 251, false, true, true},
+		{"sub zero", []isa.Instr{
+			{Op: isa.LDI, A: 0, Imm: 9},
+			{Op: isa.LDI, A: 1, Imm: 9},
+			{Op: isa.SUB, A: 0, B: 1},
+			{Op: isa.HALT},
+		}, 0, 0, true, false, false},
+		{"sbc chains borrow", []isa.Instr{
+			{Op: isa.LDI, A: 0, Imm: 0},
+			{Op: isa.LDI, A: 1, Imm: 1},
+			{Op: isa.SUB, A: 0, B: 1}, // 255, C=1
+			{Op: isa.LDI, A: 0, Imm: 10},
+			{Op: isa.SBC, A: 0, B: 1}, // 10-1-1
+			{Op: isa.HALT},
+		}, 0, 8, false, false, false},
+		{"and", []isa.Instr{
+			{Op: isa.LDI, A: 0, Imm: 0xf0},
+			{Op: isa.LDI, A: 1, Imm: 0x0f},
+			{Op: isa.AND, A: 0, B: 1},
+			{Op: isa.HALT},
+		}, 0, 0, true, false, false},
+		{"or sets N", []isa.Instr{
+			{Op: isa.LDI, A: 0, Imm: 0x80},
+			{Op: isa.LDI, A: 1, Imm: 0x01},
+			{Op: isa.OR, A: 0, B: 1},
+			{Op: isa.HALT},
+		}, 0, 0x81, false, true, false},
+		{"xor", []isa.Instr{
+			{Op: isa.LDI, A: 0, Imm: 0xff},
+			{Op: isa.LDI, A: 1, Imm: 0x0f},
+			{Op: isa.XOR, A: 0, B: 1},
+			{Op: isa.HALT},
+		}, 0, 0xf0, false, true, false},
+		{"addi", []isa.Instr{
+			{Op: isa.LDI, A: 2, Imm: 250},
+			{Op: isa.ADDI, A: 2, Imm: 10},
+			{Op: isa.HALT},
+		}, 2, 4, false, false, true},
+		{"subi", []isa.Instr{
+			{Op: isa.LDI, A: 2, Imm: 7},
+			{Op: isa.SUBI, A: 2, Imm: 7},
+			{Op: isa.HALT},
+		}, 2, 0, true, false, false},
+		{"inc wraps", []isa.Instr{
+			{Op: isa.LDI, A: 3, Imm: 255},
+			{Op: isa.INC, A: 3},
+			{Op: isa.HALT},
+		}, 3, 0, true, false, false},
+		{"dec wraps", []isa.Instr{
+			{Op: isa.LDI, A: 3, Imm: 0},
+			{Op: isa.DEC, A: 3},
+			{Op: isa.HALT},
+		}, 3, 255, false, true, false},
+		{"shl carries msb", []isa.Instr{
+			{Op: isa.LDI, A: 4, Imm: 0x81},
+			{Op: isa.SHL, A: 4},
+			{Op: isa.HALT},
+		}, 4, 0x02, false, false, true},
+		{"shr carries lsb", []isa.Instr{
+			{Op: isa.LDI, A: 4, Imm: 0x03},
+			{Op: isa.SHR, A: 4},
+			{Op: isa.HALT},
+		}, 4, 0x01, false, false, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, _ := runCPU(t, tt.code, 100)
+			if got := c.Regs[tt.reg]; got != tt.want {
+				t.Errorf("r%d = %d, want %d", tt.reg, got, tt.want)
+			}
+			if c.Z != tt.wantZ || c.N != tt.wantN || c.C != tt.wantC {
+				t.Errorf("flags Z=%v N=%v C=%v, want Z=%v N=%v C=%v",
+					c.Z, c.N, c.C, tt.wantZ, tt.wantN, tt.wantC)
+			}
+		})
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c, _ := runCPU(t, []isa.Instr{
+		{Op: isa.LDI, A: 0, Imm: 42},
+		{Op: isa.STS, B: 0, Imm: 100},       // mem[100] = 42
+		{Op: isa.LDS, A: 1, Imm: 100},       // r1 = 42
+		{Op: isa.LDI, A: 2, Imm: 3},         // index
+		{Op: isa.STX, A: 2, B: 0, Imm: 200}, // mem[203] = 42
+		{Op: isa.LDX, A: 3, B: 2, Imm: 200}, // r3 = mem[203]
+		{Op: isa.MOV, A: 4, B: 3},
+		{Op: isa.HALT},
+	}, 100)
+	if c.RAM[100] != 42 || c.Regs[1] != 42 {
+		t.Errorf("direct load/store broken: ram=%d r1=%d", c.RAM[100], c.Regs[1])
+	}
+	if c.RAM[203] != 42 || c.Regs[3] != 42 || c.Regs[4] != 42 {
+		t.Errorf("indexed load/store broken: ram=%d r3=%d r4=%d", c.RAM[203], c.Regs[3], c.Regs[4])
+	}
+}
+
+func TestBranches(t *testing.T) {
+	// Count down from 3 with BRNE: r1 accumulates iterations.
+	c, _ := runCPU(t, []isa.Instr{
+		{Op: isa.LDI, A: 0, Imm: 3},
+		{Op: isa.LDI, A: 1, Imm: 0},
+		{Op: isa.INC, A: 1}, // 2: loop body
+		{Op: isa.DEC, A: 0},
+		{Op: isa.BRNE, Imm: 2},
+		{Op: isa.HALT},
+	}, 100)
+	if c.Regs[1] != 3 {
+		t.Errorf("loop ran %d times, want 3", c.Regs[1])
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	tests := []struct {
+		name  string
+		op    isa.Op
+		setup []isa.Instr // leaves flags set
+		taken bool
+	}{
+		{"breq taken", isa.BREQ, []isa.Instr{{Op: isa.LDI, A: 0, Imm: 1}, {Op: isa.CPI, A: 0, Imm: 1}}, true},
+		{"breq not", isa.BREQ, []isa.Instr{{Op: isa.LDI, A: 0, Imm: 1}, {Op: isa.CPI, A: 0, Imm: 2}}, false},
+		{"brne taken", isa.BRNE, []isa.Instr{{Op: isa.LDI, A: 0, Imm: 1}, {Op: isa.CPI, A: 0, Imm: 2}}, true},
+		{"brcs taken (unsigned <)", isa.BRCS, []isa.Instr{{Op: isa.LDI, A: 0, Imm: 1}, {Op: isa.CPI, A: 0, Imm: 2}}, true},
+		{"brcc taken (unsigned >=)", isa.BRCC, []isa.Instr{{Op: isa.LDI, A: 0, Imm: 2}, {Op: isa.CPI, A: 0, Imm: 2}}, true},
+		{"brlt taken (N set)", isa.BRLT, []isa.Instr{{Op: isa.LDI, A: 0, Imm: 1}, {Op: isa.CPI, A: 0, Imm: 2}}, true},
+		{"brge taken (N clear)", isa.BRGE, []isa.Instr{{Op: isa.LDI, A: 0, Imm: 3}, {Op: isa.CPI, A: 0, Imm: 2}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			// Layout: setup..., branch -> HALT at target; fall-through
+			// sets r5=1 then halts.
+			code := append(append([]isa.Instr{}, tt.setup...),
+				isa.Instr{Op: tt.op, Imm: uint16(len(tt.setup) + 3)},
+				isa.Instr{Op: isa.LDI, A: 5, Imm: 1},
+				isa.Instr{Op: isa.HALT},
+				isa.Instr{Op: isa.HALT}, // branch target
+			)
+			c, _ := runCPU(t, code, 100)
+			fellThrough := c.Regs[5] == 1
+			if fellThrough == tt.taken {
+				t.Errorf("taken = %v, want %v", !fellThrough, tt.taken)
+			}
+		})
+	}
+}
+
+func TestTakenBranchCostsExtraCycle(t *testing.T) {
+	prog := &isa.Program{Code: []isa.Instr{
+		{Op: isa.LDI, A: 0, Imm: 0},
+		{Op: isa.CPI, A: 0, Imm: 0},
+		{Op: isa.BREQ, Imm: 3},
+		{Op: isa.HALT},
+	}}
+	c := New(prog, newFakeBus(), nil)
+	var cycles [3]int
+	for i := range cycles {
+		n, _, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = n
+	}
+	if cycles[2] != 2 { // 1 base + 1 taken
+		t.Errorf("taken branch cost %d cycles, want 2", cycles[2])
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	c, _ := runCPU(t, []isa.Instr{
+		{Op: isa.LDI, A: 0, Imm: 7},
+		{Op: isa.PUSH, B: 0},
+		{Op: isa.LDI, A: 0, Imm: 0},
+		{Op: isa.CALL, Imm: 6},
+		{Op: isa.POP, A: 1},
+		{Op: isa.HALT},
+		{Op: isa.LDI, A: 2, Imm: 9}, // sub
+		{Op: isa.RET},
+	}, 100)
+	if c.Regs[2] != 9 {
+		t.Error("subroutine did not run")
+	}
+	if c.Regs[1] != 7 {
+		t.Errorf("stack corrupted across call: popped %d, want 7", c.Regs[1])
+	}
+	if c.SP != isa.RAMSize-1 {
+		t.Errorf("SP not restored: %#x", c.SP)
+	}
+}
+
+func TestIOPorts(t *testing.T) {
+	prog := &isa.Program{Code: []isa.Instr{
+		{Op: isa.IN, A: 0, Imm: 0x21},
+		{Op: isa.OUT, B: 0, Imm: 0x30},
+		{Op: isa.HALT},
+	}}
+	bus := newFakeBus()
+	bus.reads[0x21] = 123
+	c := New(prog, bus, nil)
+	for {
+		_, ev, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev == EvHalt {
+			break
+		}
+	}
+	if len(bus.writes) != 1 || bus.writes[0].port != 0x30 || bus.writes[0].v != 123 {
+		t.Fatalf("port traffic %v", bus.writes)
+	}
+}
+
+func TestOSEvents(t *testing.T) {
+	prog := &isa.Program{
+		Code: []isa.Instr{
+			{Op: isa.SEI},
+			{Op: isa.POST, Imm: 3},
+			{Op: isa.OSRUN},
+			{Op: isa.SLEEP},
+			{Op: isa.HALT},
+		},
+		Tasks: map[int]uint16{3: 4},
+	}
+	c := New(prog, newFakeBus(), nil)
+	var events []Event
+	for i := 0; i < 10; i++ {
+		_, ev, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+		if ev == EvHalt {
+			break
+		}
+	}
+	want := []Event{EvNone, EvPost, EvOSRun, EvSleep, EvHalt}
+	if len(events) != len(want) {
+		t.Fatalf("events %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, events[i], want[i])
+		}
+	}
+	if c.PostedTask != 3 {
+		t.Errorf("PostedTask = %d", c.PostedTask)
+	}
+	if !c.I {
+		t.Error("SEI did not set I")
+	}
+}
+
+func TestInterruptDispatchAndReti(t *testing.T) {
+	prog := &isa.Program{
+		Code: []isa.Instr{
+			{Op: isa.NOP},               // 0: main
+			{Op: isa.HALT},              // 1
+			{Op: isa.LDI, A: 7, Imm: 1}, // 2: handler
+			{Op: isa.RETI},              // 3
+		},
+		Vectors: map[int]uint16{1: 2},
+	}
+	c := New(prog, newFakeBus(), nil)
+	c.I = true
+	if _, _, err := c.Step(); err != nil { // NOP, PC now 1
+		t.Fatal(err)
+	}
+	n, err := c.Interrupt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != InterruptCycles {
+		t.Errorf("dispatch cost %d", n)
+	}
+	if c.I {
+		t.Error("I not cleared on dispatch")
+	}
+	if c.IntDepth != 1 {
+		t.Errorf("IntDepth %d", c.IntDepth)
+	}
+	// handler body
+	if _, _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	_, ev, err := c.Step() // RETI
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != EvIntRet {
+		t.Errorf("event %v, want EvIntRet", ev)
+	}
+	if !c.I || c.IntDepth != 0 {
+		t.Errorf("post-RETI state I=%v depth=%d", c.I, c.IntDepth)
+	}
+	if c.PC != 1 {
+		t.Errorf("resumed at %d, want 1", c.PC)
+	}
+	if c.Regs[7] != 1 {
+		t.Error("handler body skipped")
+	}
+}
+
+func TestEnterTaskSentinel(t *testing.T) {
+	prog := &isa.Program{
+		Code: []isa.Instr{
+			{Op: isa.OSRUN},
+			{Op: isa.LDI, A: 1, Imm: 5}, // 1: task body
+			{Op: isa.RET},               // 2
+		},
+		Tasks: map[int]uint16{0: 1},
+	}
+	c := New(prog, newFakeBus(), nil)
+	if _, _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EnterTask(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	_, ev, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != EvTaskRet {
+		t.Fatalf("event %v, want EvTaskRet", ev)
+	}
+	if c.Regs[1] != 5 {
+		t.Error("task body skipped")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	tests := []struct {
+		name string
+		code []isa.Instr
+		want string
+	}{
+		{"load outside RAM", []isa.Instr{{Op: isa.LDS, A: 0, Imm: 5000}}, "outside"},
+		{"store outside RAM", []isa.Instr{{Op: isa.STS, B: 0, Imm: 5000}}, "outside"},
+		{"reti outside handler", []isa.Instr{{Op: isa.PUSH, B: 0}, {Op: isa.PUSH, B: 0}, {Op: isa.RETI}}, "RETI outside"},
+		{"stack underflow", []isa.Instr{{Op: isa.POP, A: 0}}, "underflow"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			prog := &isa.Program{Code: tt.code}
+			c := New(prog, newFakeBus(), nil)
+			var err error
+			for i := 0; i < 10 && err == nil; i++ {
+				_, _, err = c.Step()
+			}
+			if err == nil {
+				t.Fatal("no fault")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("fault %q does not contain %q", err, tt.want)
+			}
+			var f *Fault
+			if !asFault(err, &f) {
+				t.Fatalf("error type %T is not *Fault", err)
+			}
+		})
+	}
+}
+
+func asFault(err error, target **Fault) bool {
+	f, ok := err.(*Fault)
+	if ok {
+		*target = f
+	}
+	return ok
+}
+
+func TestPCEscapeFaults(t *testing.T) {
+	prog := &isa.Program{Code: []isa.Instr{{Op: isa.NOP}}}
+	c := New(prog, newFakeBus(), nil)
+	if _, _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Step(); err == nil {
+		t.Fatal("PC escaped the code image without a fault")
+	}
+}
+
+func TestStepAfterHaltFaults(t *testing.T) {
+	prog := &isa.Program{Code: []isa.Instr{{Op: isa.HALT}}}
+	c := New(prog, newFakeBus(), nil)
+	if _, _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Step(); err == nil {
+		t.Fatal("stepping a halted CPU did not fault")
+	}
+}
+
+func TestStackOverflowFaults(t *testing.T) {
+	// An endless PUSH loop must fault before corrupting low memory.
+	prog := &isa.Program{Code: []isa.Instr{
+		{Op: isa.PUSH, B: 0},
+		{Op: isa.JMP, Imm: 0},
+	}}
+	c := New(prog, newFakeBus(), nil)
+	var err error
+	for i := 0; i < 3*isa.RAMSize && err == nil; i++ {
+		_, _, err = c.Step()
+	}
+	if err == nil {
+		t.Fatal("no overflow fault")
+	}
+	if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("fault %q", err)
+	}
+}
+
+func TestCountPCHook(t *testing.T) {
+	prog := &isa.Program{Code: []isa.Instr{
+		{Op: isa.LDI, A: 0, Imm: 2},
+		{Op: isa.DEC, A: 0},    // 1
+		{Op: isa.BRNE, Imm: 1}, // 2
+		{Op: isa.HALT},         // 3
+	}}
+	counts := make(map[uint16]int)
+	c := New(prog, newFakeBus(), func(pc uint16) { counts[pc]++ })
+	for {
+		_, ev, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev == EvHalt {
+			break
+		}
+	}
+	want := map[uint16]int{0: 1, 1: 2, 2: 2, 3: 1}
+	for pc, n := range want {
+		if counts[pc] != n {
+			t.Errorf("pc %d counted %d, want %d", pc, counts[pc], n)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package medium simulates the shared radio channel and the CSMA MAC layer
+// of every node (the stand-in for the CC1000 stack in the paper's Case II).
+//
+// The model captures exactly the properties the paper's bugs depend on:
+//
+//   - A send occupies the MAC for the whole control exchange — random
+//     backoff, carrier sense, RTS, CTS, DATA, ACK — so there is a long
+//     "busy" window during which further send requests are rejected.
+//   - Frames take airtime proportional to their length at a CC1000-class
+//     bitrate; overlapping transmissions at a receiver collide and corrupt.
+//   - Links are lossy with per-link probabilities, and every random draw
+//     comes from a seeded stream, keeping runs reproducible.
+//
+// The network runs on the global cycle clock through an internal event
+// queue; no goroutines, no wall-clock time.
+package medium
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"sentomist/internal/randx"
+)
+
+// Broadcast is the destination ID for broadcast frames. Broadcasts skip the
+// RTS/CTS/ACK handshake: the frame is aired once and delivered to every
+// audible neighbour.
+const Broadcast = 255
+
+// Air-interface timing in cycles (1 cycle = 1 µs at the 1 MHz clock),
+// modeled on a 19.2 kbit/s CC1000-class radio.
+const (
+	CyclesPerByte  = 417 // ~52 µs/bit
+	FrameOverhead  = 8   // preamble + sync + header bytes
+	ControlBytes   = 6   // RTS/CTS/ACK frame length (incl. overhead)
+	TurnaroundGap  = 120 // RX<->TX turnaround
+	BackoffSlot    = 300
+	BackoffWindow  = 16 // initial backoff is 1..BackoffWindow slots
+	MaxCSMATries   = 6  // carrier-sense attempts before giving up
+	MaxRetries     = 2  // full RTS..ACK retries after the first attempt
+	TimeoutSlack   = 200
+	ReserveTimeout = 4000 // receiver holds an RTS reservation this long
+)
+
+type frameKind uint8
+
+const (
+	frameRTS frameKind = iota + 1
+	frameCTS
+	frameData
+	frameACK
+)
+
+func (k frameKind) String() string {
+	switch k {
+	case frameRTS:
+		return "RTS"
+	case frameCTS:
+		return "CTS"
+	case frameData:
+		return "DATA"
+	case frameACK:
+		return "ACK"
+	}
+	return "?"
+}
+
+type frame struct {
+	kind    frameKind
+	src     int
+	dst     int
+	payload []byte
+}
+
+func (f frame) airtime() uint64 {
+	switch f.kind {
+	case frameData:
+		return uint64(FrameOverhead+len(f.payload)) * CyclesPerByte
+	default:
+		return ControlBytes * CyclesPerByte
+	}
+}
+
+// transmission is a frame on the air.
+type transmission struct {
+	f     frame
+	start uint64
+	end   uint64
+}
+
+// Delivery records a data frame handed to a node's radio, for tests and
+// experiment assertions (e.g. observing polluted payloads end to end).
+type Delivery struct {
+	Cycle   uint64
+	Src     int
+	Dst     int
+	Payload []byte
+}
+
+// Client is the radio front end above a MAC (implemented by dev.Radio).
+type Client interface {
+	OnTxDone(status uint8)
+	OnReceive(src int, payload []byte)
+}
+
+// TX completion codes, mirroring dev's constants (kept separate to avoid an
+// import; the values must match dev.TxStatOK / dev.TxStatNoAck).
+const (
+	txOK    = 0
+	txNoAck = 1
+)
+
+// event is a scheduled network action.
+type event struct {
+	at  uint64
+	seq uint64
+	fn  func(now uint64)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Network is the shared channel plus all MACs.
+type Network struct {
+	rng   *randx.RNG
+	macs  map[int]*MAC
+	loss  map[[2]int]float64 // directed link -> loss probability; absent = no link
+	queue eventQueue
+	seq   uint64
+	now   uint64
+
+	onAir      []*transmission
+	deliveries []Delivery
+}
+
+// NewNetwork creates an empty network drawing randomness from rng.
+func NewNetwork(rng *randx.RNG) *Network {
+	return &Network{
+		rng:  rng,
+		macs: make(map[int]*MAC),
+		loss: make(map[[2]int]float64),
+	}
+}
+
+// AddLink declares a directed radio link from a to b with the given frame
+// loss probability. Call twice for a symmetric link.
+func (n *Network) AddLink(a, b int, lossProb float64) {
+	n.loss[[2]int{a, b}] = lossProb
+}
+
+// AddSymmetricLink declares links in both directions with equal loss.
+func (n *Network) AddSymmetricLink(a, b int, lossProb float64) {
+	n.AddLink(a, b, lossProb)
+	n.AddLink(b, a, lossProb)
+}
+
+// NewMAC creates and registers the MAC of node id. The client must be set
+// with MAC.SetClient before traffic flows.
+func (n *Network) NewMAC(id int) *MAC {
+	if _, dup := n.macs[id]; dup {
+		panic(fmt.Sprintf("medium: duplicate MAC for node %d", id))
+	}
+	m := &MAC{net: n, id: id, rng: n.rng.Split(uint64(id) + 1)}
+	n.macs[id] = m
+	return m
+}
+
+// Deliveries returns all data-frame deliveries so far. The slice is owned
+// by the network; callers must not modify it.
+func (n *Network) Deliveries() []Delivery { return n.deliveries }
+
+// NextEvent returns the cycle of the earliest pending network event.
+func (n *Network) NextEvent() (uint64, bool) {
+	if len(n.queue) == 0 {
+		return 0, false
+	}
+	return n.queue[0].at, true
+}
+
+// Advance runs all network events scheduled at or before cycle.
+func (n *Network) Advance(cycle uint64) {
+	for len(n.queue) > 0 && n.queue[0].at <= cycle {
+		e := heap.Pop(&n.queue).(*event)
+		if e.at > n.now {
+			n.now = e.at
+		}
+		e.fn(e.at)
+	}
+	if cycle > n.now {
+		n.now = cycle
+	}
+	n.pruneAir(cycle)
+}
+
+func (n *Network) schedule(at uint64, fn func(now uint64)) {
+	n.seq++
+	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
+}
+
+func (n *Network) pruneAir(now uint64) {
+	kept := n.onAir[:0]
+	for _, t := range n.onAir {
+		// Keep a transmission around for one extra airtime so the
+		// collision check of late-overlapping frames still sees it.
+		if t.end+t.end-t.start >= now {
+			kept = append(kept, t)
+		}
+	}
+	n.onAir = kept
+}
+
+// linkLoss returns the loss probability of src->dst, and whether the link
+// exists.
+func (n *Network) linkLoss(src, dst int) (float64, bool) {
+	p, ok := n.loss[[2]int{src, dst}]
+	return p, ok
+}
+
+// carrierBusyAt reports whether node id hears any transmission at cycle t.
+func (n *Network) carrierBusyAt(id int, t uint64) bool {
+	for _, tx := range n.onAir {
+		if tx.f.src == id {
+			continue
+		}
+		if _, audible := n.linkLoss(tx.f.src, id); !audible {
+			continue
+		}
+		if tx.start <= t && t < tx.end {
+			return true
+		}
+	}
+	return false
+}
+
+// air puts a frame on the channel at time now and schedules its reception
+// at every audible destination. Receivers are visited in node-ID order:
+// the loss draws consume the shared random stream, so iteration order must
+// be deterministic or runs would not replay.
+func (n *Network) air(now uint64, f frame) *transmission {
+	tx := &transmission{f: f, start: now, end: now + f.airtime()}
+	n.onAir = append(n.onAir, tx)
+	ids := make([]int, 0, len(n.macs))
+	for id := range n.macs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		m := n.macs[id]
+		if id == f.src {
+			continue
+		}
+		if f.dst != Broadcast && f.dst != id {
+			// Unicast control/data frames still occupy the channel
+			// for overhearers (carrier sense sees them via onAir),
+			// but are not decoded by third parties.
+			continue
+		}
+		p, audible := n.linkLoss(f.src, id)
+		if !audible {
+			continue
+		}
+		mac := m
+		lost := n.rng.Bool(p)
+		n.schedule(tx.end, func(at uint64) {
+			if lost {
+				return
+			}
+			if n.collided(tx, mac.id) {
+				return
+			}
+			if mac.airingUntil > tx.start {
+				// Receiver was transmitting during (part of) the
+				// frame: half-duplex radios miss it.
+				return
+			}
+			mac.onFrame(at, tx.f)
+		})
+	}
+	return tx
+}
+
+// collided reports whether another audible transmission overlapped tx at
+// receiver id.
+func (n *Network) collided(tx *transmission, id int) bool {
+	for _, other := range n.onAir {
+		if other == tx || other.f.src == tx.f.src || other.f.src == id {
+			continue
+		}
+		if _, audible := n.linkLoss(other.f.src, id); !audible {
+			continue
+		}
+		if other.start < tx.end && tx.start < other.end {
+			return true
+		}
+	}
+	return false
+}

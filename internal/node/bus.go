@@ -1,0 +1,36 @@
+package node
+
+import "sentomist/internal/dev"
+
+// bus adapts the node to mcu.Bus, demultiplexing port accesses across the
+// node's devices. The debug LED port is handled by the node itself.
+type bus Node
+
+// In implements mcu.Bus. Reads of unmapped ports return 0, like floating
+// hardware lines.
+func (b *bus) In(port uint8) uint8 {
+	n := (*Node)(b)
+	if port == dev.PortLED {
+		return n.led
+	}
+	for _, d := range n.devices {
+		if v, ok := d.In(port, n.clock); ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// Out implements mcu.Bus. Writes to unmapped ports are discarded.
+func (b *bus) Out(port uint8, v uint8) {
+	n := (*Node)(b)
+	if port == dev.PortLED {
+		n.led = v
+		return
+	}
+	for _, d := range n.devices {
+		if d.Out(port, v, n.clock) {
+			return
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package node assembles one sensor node: the SVM-8 CPU, its devices, and a
+// TinyOS-style runtime implementing the paper's concurrency model
+// (Section III):
+//
+//	Rule 1: an interrupt handler is triggered only by its hardware interrupt.
+//	Rule 2: handlers and tasks run to completion unless preempted by handlers.
+//	Rule 3: tasks are posted by handlers or tasks and executed FIFO.
+//
+// The runtime emits the lifecycle sequence (postTask, runTask, int(n), reti,
+// plus the taskEnd instrumentation marker) into a trace.Recorder, and tracks
+// ground-truth event-procedure instance ownership so the black-box interval
+// identification of package lifecycle can be verified against reality.
+package node
+
+import (
+	"fmt"
+	"math"
+
+	"sentomist/internal/dev"
+	"sentomist/internal/isa"
+	"sentomist/internal/mcu"
+	"sentomist/internal/trace"
+)
+
+type phase uint8
+
+const (
+	phaseBoot phase = iota + 1
+	phaseIdle       // scheduler: between tasks
+	phaseTask       // a task body is executing
+)
+
+// BootInstance is the ground-truth instance ID for activity that belongs to
+// boot code rather than to any event-procedure instance.
+const BootInstance = 0
+
+type taskEntry struct {
+	id       int
+	instance int
+}
+
+// Node is one simulated sensor node.
+type Node struct {
+	ID   int
+	prog *isa.Program
+
+	cpu     *mcu.CPU
+	rec     *trace.Recorder
+	devices []dev.Device
+
+	clock    uint64
+	pending  uint64 // bitmask of latched IRQs (0..63)
+	sleeping bool
+	ph       phase
+
+	queue      []taskEntry
+	sequential bool
+
+	instanceSeq   int
+	handlerStack  []int
+	taskInstance  int
+	runningTaskID int
+
+	led uint8
+	err error
+}
+
+// Config configures a node.
+type Config struct {
+	ID      int
+	Program *isa.Program
+	Devices []dev.Device
+	// RAMInit pre-seeds data RAM before boot — the moral equivalent of a
+	// per-node configuration block (TOS_NODE_ID and friends), letting
+	// every node run the identical binary so instruction counters stay
+	// comparable across nodes.
+	RAMInit map[uint16]uint8
+	// Truth enables ground-truth instance recording in the trace.
+	Truth bool
+	// Sequential selects TOSSIM-like discrete-event semantics: an
+	// interrupt is dispatched only when no handler or task is running,
+	// so event procedures execute atomically and never interleave. The
+	// paper's Section VI-E argues this model "will fail to capture the
+	// interleaving executions of event procedures" — the mode exists to
+	// demonstrate exactly that (experiment A5).
+	Sequential bool
+}
+
+// New creates a node. The program must validate.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+	}
+	n := &Node{
+		ID:         cfg.ID,
+		prog:       cfg.Program,
+		devices:    cfg.Devices,
+		ph:         phaseBoot,
+		sequential: cfg.Sequential,
+		rec:        trace.NewRecorder(cfg.ID, len(cfg.Program.Code), cfg.Truth),
+	}
+	n.cpu = mcu.New(cfg.Program, (*bus)(n), n.rec.CountPC)
+	for addr, v := range cfg.RAMInit {
+		if int(addr) >= len(n.cpu.RAM) {
+			return nil, fmt.Errorf("node %d: RAMInit address %#04x outside RAM", cfg.ID, addr)
+		}
+		n.cpu.RAM[addr] = v
+	}
+	return n, nil
+}
+
+// Attach adds a device after construction, for wiring that needs the node
+// itself as the device's interrupt line.
+func (n *Node) Attach(d dev.Device) { n.devices = append(n.devices, d) }
+
+// Raise implements dev.IRQLine: latch an interrupt request.
+func (n *Node) Raise(irq int) {
+	if irq < 0 || irq > 63 {
+		panic(fmt.Sprintf("node: irq %d out of range", irq))
+	}
+	n.pending |= 1 << uint(irq)
+}
+
+// Clock returns the node's current cycle time (== the global clock).
+func (n *Node) Clock() uint64 { return n.clock }
+
+// Err returns the first runtime fault, if any. A faulted node stops.
+func (n *Node) Err() error { return n.err }
+
+// Halted reports whether the node stopped (HALT or fault).
+func (n *Node) Halted() bool { return n.cpu.Halted || n.err != nil }
+
+// LED returns the last value written to the debug LED port.
+func (n *Node) LED() uint8 { return n.led }
+
+// CPU exposes the processor for tests.
+func (n *Node) CPU() *mcu.CPU { return n.cpu }
+
+// Trace returns the node's recorded trace so far.
+func (n *Node) Trace() *trace.NodeTrace { return n.rec.Finish() }
+
+// QueueLen returns the current task-queue depth.
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// Runnable reports whether the node can make progress at the current clock
+// without waiting for a device or network event: the CPU has code to run or
+// a dispatchable interrupt is pending.
+func (n *Node) Runnable() bool {
+	if n.Halted() {
+		return false
+	}
+	if n.dispatchable() {
+		return true
+	}
+	if n.sleeping {
+		return false
+	}
+	switch n.ph {
+	case phaseBoot, phaseTask:
+		return true
+	case phaseIdle:
+		return n.cpu.IntDepth > 0 || (len(n.queue) > 0 && n.cpu.IntDepth == 0)
+	}
+	return false
+}
+
+// NextDeviceEvent returns the earliest self-scheduled device event time.
+func (n *Node) NextDeviceEvent() (uint64, bool) {
+	best := uint64(math.MaxUint64)
+	found := false
+	for _, d := range n.devices {
+		if at, ok := d.NextEvent(); ok && at < best {
+			best = at
+			found = true
+		}
+	}
+	return best, found
+}
+
+func (n *Node) dispatchable() bool {
+	if n.pending == 0 || !n.cpu.I {
+		return false
+	}
+	if n.sequential && n.executing() {
+		// TOSSIM-like mode: events wait for the current event
+		// procedure to finish (no preemption, no interleaving).
+		return false
+	}
+	return true
+}
+
+// lowestPending returns the lowest-numbered pending IRQ.
+func (n *Node) lowestPending() int {
+	for irq := 0; irq < 64; irq++ {
+		if n.pending&(1<<uint(irq)) != 0 {
+			return irq
+		}
+	}
+	return -1
+}
+
+func (n *Node) currentInstance() int {
+	if len(n.handlerStack) > 0 {
+		return n.handlerStack[len(n.handlerStack)-1]
+	}
+	if n.ph == phaseTask {
+		return n.taskInstance
+	}
+	return BootInstance
+}
+
+func (n *Node) fail(err error) {
+	if n.err == nil {
+		n.err = fmt.Errorf("node %d at cycle %d: %w", n.ID, n.clock, err)
+	}
+}
+
+// Advance runs the node until the clock reaches target. Device events due
+// along the way fire; the CPU executes while it has work; idle gaps are
+// fast-forwarded to the next device event.
+func (n *Node) Advance(target uint64) {
+	for n.clock < target && !n.Halted() {
+		for _, d := range n.devices {
+			d.Advance(n.clock)
+		}
+
+		// Rule 1: dispatch the highest-priority pending interrupt as
+		// soon as the I flag allows, preempting boot code or a task
+		// (Rule 2).
+		if n.dispatchable() {
+			irq := n.lowestPending()
+			vector, ok := n.prog.Vectors[irq]
+			if !ok {
+				n.fail(fmt.Errorf("interrupt %d has no vector", irq))
+				return
+			}
+			n.pending &^= 1 << uint(irq)
+			n.sleeping = false
+			cycles, err := n.cpu.Interrupt(vector)
+			if err != nil {
+				n.fail(err)
+				return
+			}
+			n.clock += uint64(cycles)
+			n.rec.ObserveSP(n.cpu.SP)
+			n.instanceSeq++
+			inst := n.instanceSeq
+			n.handlerStack = append(n.handlerStack, inst)
+			n.rec.Mark(trace.Int, irq, n.clock, inst)
+			continue
+		}
+
+		if n.executing() {
+			if !n.step() {
+				return
+			}
+			continue
+		}
+
+		// Scheduler: run the next queued task only when no handler is
+		// active (Rule 3).
+		if n.ph == phaseIdle && n.cpu.IntDepth == 0 && len(n.queue) > 0 {
+			te := n.queue[0]
+			n.queue = n.queue[1:]
+			entry, ok := n.prog.Tasks[te.id]
+			if !ok {
+				n.fail(fmt.Errorf("posted task %d has no entry", te.id))
+				return
+			}
+			cycles, err := n.cpu.EnterTask(entry)
+			if err != nil {
+				n.fail(err)
+				return
+			}
+			n.clock += uint64(cycles)
+			n.ph = phaseTask
+			n.taskInstance = te.instance
+			n.runningTaskID = te.id
+			n.rec.Mark(trace.RunTask, te.id, n.clock, te.instance)
+			continue
+		}
+
+		// Idle: fast-forward to the next device event or the target.
+		next := target
+		if at, ok := n.NextDeviceEvent(); ok && at < next {
+			next = at
+		}
+		if next <= n.clock {
+			next = n.clock + 1
+		}
+		n.clock = next
+	}
+	if n.clock >= target {
+		for _, d := range n.devices {
+			d.Advance(n.clock)
+		}
+	}
+}
+
+// executing reports whether the CPU itself has an active control flow.
+func (n *Node) executing() bool {
+	if n.sleeping {
+		return false
+	}
+	return n.cpu.IntDepth > 0 || n.ph == phaseBoot || n.ph == phaseTask
+}
+
+// step executes one instruction and applies its OS event. It returns false
+// when the node can no longer run.
+func (n *Node) step() bool {
+	cycles, ev, err := n.cpu.Step()
+	if err != nil {
+		n.fail(err)
+		return false
+	}
+	n.clock += uint64(cycles)
+	n.rec.ObserveSP(n.cpu.SP)
+	switch ev {
+	case mcu.EvNone:
+	case mcu.EvPost:
+		id := n.cpu.PostedTask
+		if _, ok := n.prog.Tasks[id]; !ok {
+			n.fail(fmt.Errorf("POST of unknown task %d", id))
+			return false
+		}
+		inst := n.currentInstance()
+		n.queue = append(n.queue, taskEntry{id: id, instance: inst})
+		n.rec.Mark(trace.PostTask, id, n.clock, inst)
+	case mcu.EvOSRun:
+		if n.ph != phaseBoot {
+			n.fail(fmt.Errorf("OSRUN outside boot code"))
+			return false
+		}
+		n.ph = phaseIdle
+	case mcu.EvSleep:
+		n.sleeping = true
+	case mcu.EvTaskRet:
+		if n.ph != phaseTask {
+			n.fail(fmt.Errorf("task return outside a task"))
+			return false
+		}
+		n.rec.Mark(trace.TaskEnd, n.lastTaskID(), n.clock, n.taskInstance)
+		n.ph = phaseIdle
+	case mcu.EvIntRet:
+		if len(n.handlerStack) == 0 {
+			n.fail(fmt.Errorf("RETI with empty handler stack"))
+			return false
+		}
+		inst := n.handlerStack[len(n.handlerStack)-1]
+		n.handlerStack = n.handlerStack[:len(n.handlerStack)-1]
+		n.rec.Mark(trace.Reti, 0, n.clock, inst)
+	case mcu.EvHalt:
+		return false
+	}
+	return true
+}
+
+// lastTaskID recovers the ID of the task that just returned. The runtime
+// records it when the task starts.
+func (n *Node) lastTaskID() int { return n.runningTaskID }

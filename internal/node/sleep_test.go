@@ -1,0 +1,152 @@
+package node
+
+import (
+	"testing"
+
+	"sentomist/internal/asm"
+	"sentomist/internal/trace"
+)
+
+// TestSleepInstruction: boot code that sleeps in a loop (the classic
+// low-power main loop) is woken by interrupts and resumes after the SLEEP.
+func TestSleepInstruction(t *testing.T) {
+	n := buildNode(t, `
+.var wakes
+.vector 1, tick
+.entry boot
+boot:
+	sei
+loop:
+	sleep
+	lds r0, wakes       ; runs after each wake-up
+	inc r0
+	sts wakes, r0
+	jmp loop
+tick:
+	reti
+`, timer0(1000))
+	n.Advance(5500)
+	if err := n.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.CPU().RAM[asm.VarBase]; got != 5 {
+		t.Fatalf("woke %d times, want 5", got)
+	}
+}
+
+func TestRunnableStates(t *testing.T) {
+	// Boot phase: runnable.
+	n := buildNode(t, `
+.task 0, w
+.entry boot
+boot:
+	post 0
+	osrun
+w:
+	ret
+`)
+	if !n.Runnable() {
+		t.Fatal("boot-phase node not runnable")
+	}
+	n.Advance(20)
+	// Task queued or running: runnable until drained.
+	n.Advance(1000)
+	// Idle with an empty queue and no pending IRQs: not runnable.
+	if n.Runnable() {
+		t.Fatal("idle node claims runnable")
+	}
+	if n.QueueLen() != 0 {
+		t.Fatalf("queue %d", n.QueueLen())
+	}
+	// A raised interrupt makes it runnable again (I is set after boot
+	// only if the program did SEI; this one did not, so raising an IRQ
+	// while masked must NOT make it runnable).
+	n.Raise(1)
+	if n.Runnable() {
+		t.Fatal("masked interrupt made the node runnable")
+	}
+}
+
+func TestRunnableWithPendingUnmaskedIRQ(t *testing.T) {
+	n := buildNode(t, `
+.vector 1, tick
+.entry boot
+boot:
+	sei
+	osrun
+tick:
+	reti
+`)
+	n.Advance(10)
+	if n.Runnable() {
+		t.Fatal("idle node runnable without pending IRQs")
+	}
+	n.Raise(1)
+	if !n.Runnable() {
+		t.Fatal("pending unmasked interrupt not runnable")
+	}
+	n.Advance(n.Clock() + 20)
+	if n.Runnable() {
+		t.Fatal("node still runnable after dispatch drained")
+	}
+}
+
+func TestQueueLenDuringBurst(t *testing.T) {
+	n := buildNode(t, `
+.task 0, w
+.task 1, w
+.task 2, w
+.entry boot
+boot:
+	post 0
+	post 1
+	post 2
+	osrun
+w:
+	ret
+`)
+	// Step just past the three posts (3 x 2 cycles) but before OSRUN.
+	n.Advance(6)
+	if n.QueueLen() != 3 {
+		t.Fatalf("queue %d after three posts, want 3", n.QueueLen())
+	}
+	n.Advance(1000)
+	if n.QueueLen() != 0 {
+		t.Fatalf("queue %d after drain", n.QueueLen())
+	}
+}
+
+func TestRaisePanicsOnBadIRQ(t *testing.T) {
+	n := buildNode(t, ".entry e\ne:\n\tosrun")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for irq 64")
+		}
+	}()
+	n.Raise(64)
+}
+
+func TestTaskEndMarkerCarriesTaskID(t *testing.T) {
+	n := buildNode(t, `
+.task 5, w
+.entry boot
+boot:
+	post 5
+	osrun
+w:
+	ret
+`)
+	n.Advance(100)
+	var found bool
+	for _, m := range n.Trace().Markers {
+		if m.Kind == trace.TaskEnd {
+			found = true
+			if m.Arg != 5 {
+				t.Fatalf("taskEnd arg %d, want 5", m.Arg)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no taskEnd marker")
+	}
+}

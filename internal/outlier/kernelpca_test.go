@@ -1,0 +1,80 @@
+package outlier
+
+import (
+	"math"
+	"testing"
+
+	"sentomist/internal/randx"
+	"sentomist/internal/svm"
+)
+
+func TestKernelPCAFindsPlantedOutlier(t *testing.T) {
+	samples := plantedBatch(11, 80, 8)
+	scores, err := (KernelPCA{}).Score(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Rank(scores)[0] != 80 {
+		t.Fatalf("planted outlier not first; score %v", scores[80])
+	}
+}
+
+func TestKernelPCAFindsOffSubspaceOutlier(t *testing.T) {
+	// With a linear kernel, kernel PCA degenerates to ordinary PCA and
+	// must nail the off-subspace point exactly.
+	samples := lineBatch(12, 80)
+	scores, err := (KernelPCA{Components: 1, Kernel: svm.Linear{}}).Score(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Rank(scores)[0] != 80 {
+		t.Fatalf("off-subspace outlier not first; score %v", scores[80])
+	}
+}
+
+func TestKernelPCAEmptyBatch(t *testing.T) {
+	if _, err := (KernelPCA{}).Score(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestKernelPCADegenerateBatch(t *testing.T) {
+	samples := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	scores, err := (KernelPCA{}).Score(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("degenerate batch produced %v", scores)
+		}
+	}
+}
+
+func TestKernelPCASingleSample(t *testing.T) {
+	scores, err := (KernelPCA{}).Score([][]float64{{3, 4}})
+	if err != nil || len(scores) != 1 {
+		t.Fatalf("single sample: %v %v", scores, err)
+	}
+}
+
+func TestKernelPCADeterministic(t *testing.T) {
+	rng := randx.New(13)
+	var samples [][]float64
+	for i := 0; i < 40; i++ {
+		samples = append(samples, []float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	a, err := (KernelPCA{}).Score(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (KernelPCA{}).Score(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}

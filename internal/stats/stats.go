@@ -1,0 +1,206 @@
+// Package stats provides the small dense linear-algebra and statistics
+// helpers the outlier detectors need: means, covariance, symmetric
+// eigenpairs by power iteration with deflation, and a few vector utilities.
+// It is deliberately minimal — just enough, stdlib only.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: SqDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Mean returns the per-dimension mean of the samples.
+func Mean(samples [][]float64) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	m := make([]float64, len(samples[0]))
+	for _, s := range samples {
+		for d, v := range s {
+			m[d] += v
+		}
+	}
+	inv := 1 / float64(len(samples))
+	for d := range m {
+		m[d] *= inv
+	}
+	return m
+}
+
+// Covariance returns the (biased, 1/n) covariance matrix of the samples as
+// a dense row-major d×d matrix, along with the mean.
+func Covariance(samples [][]float64) (cov [][]float64, mean []float64) {
+	mean = Mean(samples)
+	d := len(mean)
+	cov = make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	if len(samples) == 0 {
+		return cov, mean
+	}
+	inv := 1 / float64(len(samples))
+	centered := make([]float64, d)
+	for _, s := range samples {
+		for i := range centered {
+			centered[i] = s[i] - mean[i]
+		}
+		for i := 0; i < d; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			row := cov[i]
+			for j := i; j < d; j++ {
+				row[j] += ci * centered[j] * inv
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			cov[i][j] = cov[j][i]
+		}
+	}
+	return cov, mean
+}
+
+// MatVec computes m·v for a dense row-major matrix.
+func MatVec(m [][]float64, v []float64) []float64 {
+	out := make([]float64, len(m))
+	for i, row := range m {
+		out[i] = Dot(row, v)
+	}
+	return out
+}
+
+// TopEigen returns the k largest eigenpairs of the symmetric matrix m using
+// power iteration with Hotelling deflation. Eigenvectors are unit-norm rows
+// of vecs. Eigenvalues numerically at or below zero terminate the search
+// early (the remaining directions carry no variance).
+func TopEigen(m [][]float64, k int, iters int, seedVec []float64) (vals []float64, vecs [][]float64) {
+	d := len(m)
+	if k > d {
+		k = d
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+	// Work on a copy: deflation mutates the matrix.
+	work := make([][]float64, d)
+	for i := range work {
+		work[i] = append([]float64(nil), m[i]...)
+	}
+	for c := 0; c < k; c++ {
+		v := make([]float64, d)
+		if seedVec != nil && len(seedVec) == d {
+			copy(v, seedVec)
+		}
+		// Deterministic, non-degenerate start.
+		for i := range v {
+			v[i] += 1 / float64(i+1+c)
+		}
+		normalize(v)
+		var lambda float64
+		for it := 0; it < iters; it++ {
+			w := MatVec(work, v)
+			n := Norm(w)
+			if n == 0 {
+				lambda = 0
+				break
+			}
+			for i := range w {
+				w[i] /= n
+			}
+			lambda = Dot(w, MatVec(work, w))
+			if converged(v, w) {
+				v = w
+				break
+			}
+			v = w
+		}
+		if lambda <= 1e-12 {
+			break
+		}
+		vals = append(vals, lambda)
+		vecs = append(vecs, v)
+		// Deflate: work -= lambda v vᵀ.
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				work[i][j] -= lambda * v[i] * v[j]
+			}
+		}
+	}
+	return vals, vecs
+}
+
+func normalize(v []float64) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+func converged(a, b []float64) bool {
+	var d float64
+	for i := range a {
+		x := a[i] - b[i]
+		d += x * x
+	}
+	return d < 1e-18
+}
+
+// Quantile returns the q-quantile (0..1) of values by linear interpolation
+// over the sorted copy. It panics on an empty slice.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDotAndNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := SqDist([]float64{1, 1}, []float64{4, 5}); got != 25 {
+		t.Fatalf("SqDist = %v", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !almostEq(m[0], 3) || !almostEq(m[1], 4) {
+		t.Fatalf("Mean = %v", m)
+	}
+	if Mean(nil) != nil {
+		t.Fatal("Mean(nil) should be nil")
+	}
+}
+
+func TestCovarianceHandComputed(t *testing.T) {
+	// Two dims, perfectly anti-correlated.
+	samples := [][]float64{{1, -1}, {-1, 1}, {3, -3}, {-3, 3}}
+	cov, mean := Covariance(samples)
+	if !almostEq(mean[0], 0) || !almostEq(mean[1], 0) {
+		t.Fatalf("mean %v", mean)
+	}
+	// Var = (1+1+9+9)/4 = 5; Cov = -5.
+	if !almostEq(cov[0][0], 5) || !almostEq(cov[1][1], 5) {
+		t.Fatalf("variances %v %v", cov[0][0], cov[1][1])
+	}
+	if !almostEq(cov[0][1], -5) || !almostEq(cov[1][0], -5) {
+		t.Fatalf("covariances %v %v", cov[0][1], cov[1][0])
+	}
+}
+
+func TestCovarianceSymmetricPSDDiagonal(t *testing.T) {
+	check := func(raw [][4]float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		samples := make([][]float64, len(raw))
+		for i, r := range raw {
+			samples[i] = []float64{r[0], r[1], r[2], r[3]}
+		}
+		cov, _ := Covariance(samples)
+		for i := range cov {
+			if cov[i][i] < -1e-9 {
+				return false // variances must be non-negative
+			}
+			for j := range cov {
+				if math.Abs(cov[i][j]-cov[j][i]) > 1e-6*(1+math.Abs(cov[i][j])) {
+					return false // symmetry
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := [][]float64{{1, 2}, {3, 4}}
+	v := MatVec(m, []float64{5, 6})
+	if !almostEq(v[0], 17) || !almostEq(v[1], 39) {
+		t.Fatalf("MatVec = %v", v)
+	}
+}
+
+func TestTopEigenDiagonal(t *testing.T) {
+	m := [][]float64{
+		{5, 0, 0},
+		{0, 2, 0},
+		{0, 0, 1},
+	}
+	vals, vecs := TopEigen(m, 2, 500, nil)
+	if len(vals) != 2 {
+		t.Fatalf("got %d eigenpairs", len(vals))
+	}
+	if !almostEqTol(vals[0], 5, 1e-6) || !almostEqTol(vals[1], 2, 1e-6) {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	if math.Abs(math.Abs(vecs[0][0])-1) > 1e-4 {
+		t.Fatalf("first eigenvector %v, want +-e1", vecs[0])
+	}
+	if math.Abs(math.Abs(vecs[1][1])-1) > 1e-4 {
+		t.Fatalf("second eigenvector %v, want +-e2", vecs[1])
+	}
+}
+
+func TestTopEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs := TopEigen(m, 2, 500, nil)
+	if len(vals) != 2 || !almostEqTol(vals[0], 3, 1e-6) || !almostEqTol(vals[1], 1, 1e-6) {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	// First eigenvector is (1,1)/sqrt2 up to sign.
+	if math.Abs(math.Abs(vecs[0][0])-math.Sqrt2/2) > 1e-4 {
+		t.Fatalf("first eigenvector %v", vecs[0])
+	}
+	// Orthogonality.
+	if math.Abs(Dot(vecs[0], vecs[1])) > 1e-4 {
+		t.Fatalf("eigenvectors not orthogonal: %v · %v", vecs[0], vecs[1])
+	}
+}
+
+func TestTopEigenStopsAtRank(t *testing.T) {
+	// Rank-1 matrix: only one positive eigenvalue.
+	m := [][]float64{
+		{4, 2},
+		{2, 1},
+	}
+	vals, _ := TopEigen(m, 2, 500, nil)
+	if len(vals) != 1 {
+		t.Fatalf("got %d eigenpairs from a rank-1 matrix, want 1", len(vals))
+	}
+	if !almostEqTol(vals[0], 5, 1e-6) {
+		t.Fatalf("eigenvalue %v, want 5", vals[0])
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tt := range tests {
+		if got := Quantile(v, tt.q); !almostEq(got, tt.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Input must not be mutated.
+	if v[0] != 4 {
+		t.Fatal("Quantile sorted its input in place")
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func almostEqTol(a, b, tol float64) bool { return math.Abs(a-b) < tol }

@@ -1,0 +1,213 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Config parameterizes one-class training.
+type Config struct {
+	// Nu is the ν parameter: an upper bound on the fraction of training
+	// points treated as outliers and a lower bound on the fraction of
+	// support vectors. Must lie in (0, 1].
+	Nu float64
+	// Kernel defaults to RBF with gamma = 1/dim when nil.
+	Kernel Kernel
+	// Eps is the KKT violation tolerance; defaults to 1e-4.
+	Eps float64
+	// MaxIter bounds SMO iterations; defaults to 100·l (at least 10000).
+	MaxIter int
+}
+
+// Model is a trained one-class SVM.
+type Model struct {
+	kernel Kernel
+	// Support vectors and their dual coefficients (only αᵢ > 0 kept).
+	sv    [][]float64
+	alpha []float64
+	rho   float64
+
+	// Training diagnostics.
+	Iters      int
+	NumSV      int
+	NumBoundSV int
+}
+
+// ErrNoData is returned when Train is called without samples.
+var ErrNoData = errors.New("svm: no training samples")
+
+// Train fits a one-class ν-SVM on the samples. The sample slices are
+// referenced, not copied; callers must not mutate them afterwards.
+func Train(samples [][]float64, cfg Config) (*Model, error) {
+	l := len(samples)
+	if l == 0 {
+		return nil, ErrNoData
+	}
+	if cfg.Nu <= 0 || cfg.Nu > 1 {
+		return nil, fmt.Errorf("svm: nu=%g outside (0,1]", cfg.Nu)
+	}
+	dim := len(samples[0])
+	for i, s := range samples {
+		if len(s) != dim {
+			return nil, fmt.Errorf("svm: sample %d has %d dims, want %d", i, len(s), dim)
+		}
+	}
+	kernel := cfg.Kernel
+	if kernel == nil {
+		g := 1.0
+		if dim > 0 {
+			g = 1 / float64(dim)
+		}
+		kernel = RBF{Gamma: g}
+	}
+	eps := cfg.Eps
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100 * l
+		if maxIter < 10000 {
+			maxIter = 10000
+		}
+	}
+
+	// Full kernel matrix; l is at most a few thousand in our workloads.
+	q := make([][]float64, l)
+	for i := 0; i < l; i++ {
+		q[i] = make([]float64, l)
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(samples[i], samples[j])
+			q[i][j] = v
+			q[j][i] = v
+		}
+	}
+
+	// LIBSVM-style initialization: put total mass 1 on the first ⌈νl⌉
+	// points, the last one fractionally.
+	c := 1 / (cfg.Nu * float64(l))
+	alpha := make([]float64, l)
+	remaining := 1.0
+	for i := 0; i < l && remaining > 0; i++ {
+		a := math.Min(c, remaining)
+		alpha[i] = a
+		remaining -= a
+	}
+
+	// Gradient of ½αᵀQα is Qα.
+	grad := make([]float64, l)
+	for i := 0; i < l; i++ {
+		var g float64
+		for j := 0; j < l; j++ {
+			if alpha[j] > 0 {
+				g += q[i][j] * alpha[j]
+			}
+		}
+		grad[i] = g
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Working-set selection (maximal violating pair):
+		// i ∈ {α < C} minimizing Gᵢ, j ∈ {α > 0} maximizing Gⱼ.
+		i, j := -1, -1
+		gmin, gmax := math.Inf(1), math.Inf(-1)
+		for k := 0; k < l; k++ {
+			if alpha[k] < c-1e-15 && grad[k] < gmin {
+				gmin = grad[k]
+				i = k
+			}
+			if alpha[k] > 1e-15 && grad[k] > gmax {
+				gmax = grad[k]
+				j = k
+			}
+		}
+		if i < 0 || j < 0 || gmax-gmin < eps {
+			break
+		}
+
+		eta := q[i][i] + q[j][j] - 2*q[i][j]
+		var delta float64
+		if eta > 1e-12 {
+			delta = (grad[j] - grad[i]) / eta
+		} else {
+			delta = math.Inf(1)
+		}
+		if room := c - alpha[i]; delta > room {
+			delta = room
+		}
+		if delta > alpha[j] {
+			delta = alpha[j]
+		}
+		if delta <= 0 {
+			break
+		}
+		alpha[i] += delta
+		alpha[j] -= delta
+		for k := 0; k < l; k++ {
+			grad[k] += delta * (q[k][i] - q[k][j])
+		}
+	}
+
+	// ρ: at the optimum, free SVs satisfy Gᵢ = ρ.
+	var freeSum float64
+	var freeCnt, bound int
+	lo, hi := math.Inf(-1), math.Inf(1)
+	for k := 0; k < l; k++ {
+		switch {
+		case alpha[k] <= 1e-12:
+			if grad[k] < hi {
+				hi = grad[k]
+			}
+		case alpha[k] >= c-1e-12:
+			bound++
+			if grad[k] > lo {
+				lo = grad[k]
+			}
+		default:
+			freeSum += grad[k]
+			freeCnt++
+		}
+	}
+	var rho float64
+	if freeCnt > 0 {
+		rho = freeSum / float64(freeCnt)
+	} else {
+		switch {
+		case math.IsInf(lo, -1):
+			rho = hi
+		case math.IsInf(hi, 1):
+			rho = lo
+		default:
+			rho = (lo + hi) / 2
+		}
+	}
+
+	m := &Model{kernel: kernel, rho: rho, Iters: iters, NumBoundSV: bound}
+	for k := 0; k < l; k++ {
+		if alpha[k] > 1e-12 {
+			m.sv = append(m.sv, samples[k])
+			m.alpha = append(m.alpha, alpha[k])
+		}
+	}
+	m.NumSV = len(m.sv)
+	return m, nil
+}
+
+// Decision returns f(x) = Σᵢ αᵢK(xᵢ,x) − ρ: positive on the normal side of
+// the boundary, negative outside, with magnitude growing with distance —
+// exactly the score the paper ranks by (Section V-C1).
+func (m *Model) Decision(x []float64) float64 {
+	var s float64
+	for i, v := range m.sv {
+		s += m.alpha[i] * m.kernel.Eval(v, x)
+	}
+	return s - m.rho
+}
+
+// Rho returns the trained offset.
+func (m *Model) Rho() float64 { return m.rho }
+
+// Kernel returns the kernel the model was trained with.
+func (m *Model) Kernel() Kernel { return m.kernel }

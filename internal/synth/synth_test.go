@@ -1,0 +1,112 @@
+package synth
+
+import (
+	"testing"
+
+	"sentomist/internal/core"
+	"sentomist/internal/dev"
+	"sentomist/internal/lifecycle"
+	"sentomist/internal/node"
+	"sentomist/internal/trace"
+)
+
+// truthExtents mirrors the lifecycle ground-truth check: per instance, its
+// first (int) and last (taskEnd/reti) marker.
+func truthExtents(nt *trace.NodeTrace) (start, end map[int]int) {
+	start = make(map[int]int)
+	end = make(map[int]int)
+	for i, m := range nt.Markers {
+		inst := nt.TruthInstance[i]
+		if inst == node.BootInstance {
+			continue
+		}
+		switch m.Kind {
+		case trace.Int:
+			if _, seen := start[inst]; !seen {
+				start[inst] = i
+			}
+		case trace.TaskEnd, trace.Reti:
+			end[inst] = i
+		}
+	}
+	return start, end
+}
+
+// TestSoakRandomScenarios: across many generated scenarios, the trace must
+// validate, interval extraction must match ground truth exactly, and the
+// full mining pipeline must run end to end.
+func TestSoakRandomScenarios(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 6
+	}
+	totalIntervals := 0
+	for seed := 0; seed < seeds; seed++ {
+		run, err := Generate(Config{Seed: uint64(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := run.Trace.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, nt := range run.Trace.Nodes {
+			ivs, err := lifecycle.NewSequence(nt).Extract()
+			if err != nil {
+				t.Fatalf("seed %d node %d: %v", seed, nt.NodeID, err)
+			}
+			start, end := truthExtents(nt)
+			for _, iv := range ivs {
+				if !iv.Complete {
+					continue
+				}
+				totalIntervals++
+				if iv.StartMarker != start[iv.Truth] || iv.EndMarker != end[iv.Truth] {
+					t.Fatalf("seed %d node %d instance %d: extracted [%d,%d], truth [%d,%d]",
+						seed, nt.NodeID, iv.Truth,
+						iv.StartMarker, iv.EndMarker, start[iv.Truth], end[iv.Truth])
+				}
+			}
+		}
+		// The pipeline must run per node (each generated node runs its
+		// own binary, so cross-node pooling is rightly rejected).
+		for _, nt := range run.Trace.Nodes {
+			_, err = core.Mine(
+				[]core.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+				core.Config{IRQ: dev.IRQTimer0, Nodes: []int{nt.NodeID}},
+			)
+			if err != nil && err != core.ErrNoIntervals {
+				t.Fatalf("seed %d node %d: mine: %v", seed, nt.NodeID, err)
+			}
+		}
+	}
+	t.Logf("soak verified %d intervals across %d random scenarios", totalIntervals, seeds)
+	if totalIntervals < 500 {
+		t.Fatalf("soak exercised only %d intervals; generation too timid", totalIntervals)
+	}
+}
+
+// TestGenerateDeterministic: the same seed reproduces the same run.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace.Nodes) != len(b.Trace.Nodes) {
+		t.Fatal("node counts differ")
+	}
+	for i := range a.Trace.Nodes {
+		ma, mb := a.Trace.Nodes[i].Markers, b.Trace.Nodes[i].Markers
+		if len(ma) != len(mb) {
+			t.Fatalf("node %d: marker counts differ (%d vs %d)", i, len(ma), len(mb))
+		}
+		for j := range ma {
+			if ma[j].Kind != mb[j].Kind || ma[j].Cycle != mb[j].Cycle {
+				t.Fatalf("node %d marker %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Serialization of traces. The binary format is gob wrapped in gzip — the
+// deltas are highly repetitive, so compression routinely shrinks traces by
+// an order of magnitude, which matters for the trace-volume experiment (E4
+// in DESIGN.md). JSON is provided for interoperability and inspection.
+
+// format magic distinguishes the binary container.
+const binaryMagic = "SENTTRC1"
+
+// WriteBinary serializes t in the compressed binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	if _, err := io.WriteString(w, binaryMagic); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: close gzip: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary deserializes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a trace file)", magic)
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open gzip: %w", err)
+	}
+	defer zr.Close()
+	var t Trace
+	if err := gob.NewDecoder(zr).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// WriteJSON serializes t as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// SaveFile writes the trace to path, choosing JSON when the path ends in
+// ".json" and the binary format otherwise.
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	var werr error
+	if isJSONPath(path) {
+		werr = t.WriteJSON(bw)
+	} else {
+		werr = t.WriteBinary(bw)
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// LoadFile reads a trace from path, dispatching on the ".json" suffix like
+// SaveFile.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if isJSONPath(path) {
+		return ReadJSON(br)
+	}
+	return ReadBinary(br)
+}
+
+func isJSONPath(path string) bool {
+	return len(path) >= 5 && path[len(path)-5:] == ".json"
+}

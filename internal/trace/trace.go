@@ -1,0 +1,244 @@
+// Package trace models the runtime trace Sentomist mines: the lifecycle
+// sequence of Section V-A plus the per-marker instruction-count deltas that
+// make interval instruction counters (Definition 4) exact.
+//
+// A Trace holds, per node, an ordered series of Markers. Four marker kinds
+// are the paper-visible lifecycle items — PostTask, RunTask, Int, Reti — and
+// one, TaskEnd, is additional instrumentation emitted when a runTask call
+// returns (observable in the paper's Avrora monitor as well). The interval
+// identification algorithm consumes only the four paper kinds; TaskEnd is
+// used solely to place exact wall-clock window boundaries for counting.
+//
+// Every marker carries a sparse delta: how many times each program counter
+// executed since the previous marker of the same node. Summing deltas over a
+// marker window therefore yields exactly the instructions executed in that
+// window, including instructions contributed by other interleaved event
+// procedure instances — the overlap the paper exploits.
+package trace
+
+import "fmt"
+
+// Kind enumerates marker kinds.
+type Kind uint8
+
+// Marker kinds. PostTask..Reti are the four lifecycle items of the paper;
+// TaskEnd is instrumentation for exact interval windows.
+const (
+	PostTask Kind = iota + 1
+	RunTask
+	Int
+	Reti
+	TaskEnd
+)
+
+// String returns the paper's name for the marker kind.
+func (k Kind) String() string {
+	switch k {
+	case PostTask:
+		return "postTask"
+	case RunTask:
+		return "runTask"
+	case Int:
+		return "int"
+	case Reti:
+		return "reti"
+	case TaskEnd:
+		return "taskEnd"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Delta records that instruction PC executed Count times since the previous
+// marker.
+type Delta struct {
+	PC    uint16
+	Count uint32
+}
+
+// Marker is one entry of a node's lifecycle sequence.
+type Marker struct {
+	Kind Kind
+	// Arg is the IRQ number for Int markers and the task ID for
+	// PostTask, RunTask, and TaskEnd markers. It is 0 for Reti.
+	Arg int
+	// Cycle is the node-local cycle time of the event. For Int it is the
+	// handler entry; for Reti the handler exit; for RunTask the task
+	// start; for TaskEnd the task return; for PostTask the post call.
+	Cycle uint64
+	// Deltas lists instruction executions since the previous marker.
+	Deltas []Delta
+	// MinSP is the lowest stack-pointer value observed since the
+	// previous marker (the stack grows downward, so lower = deeper).
+	// It feeds the memory-usage attribute of the paper's Section V-B.
+	MinSP uint16
+}
+
+// String renders the marker the way the paper writes lifecycle items.
+func (m Marker) String() string {
+	switch m.Kind {
+	case Int:
+		return fmt.Sprintf("int(%d)@%d", m.Arg, m.Cycle)
+	case Reti:
+		return fmt.Sprintf("reti@%d", m.Cycle)
+	case PostTask:
+		return fmt.Sprintf("postTask(%d)@%d", m.Arg, m.Cycle)
+	case RunTask:
+		return fmt.Sprintf("runTask(%d)@%d", m.Arg, m.Cycle)
+	case TaskEnd:
+		return fmt.Sprintf("taskEnd(%d)@%d", m.Arg, m.Cycle)
+	}
+	return fmt.Sprintf("marker(%d)@%d", uint8(m.Kind), m.Cycle)
+}
+
+// NodeTrace is the recorded execution history of one node.
+type NodeTrace struct {
+	NodeID int
+	// ProgramLen is the number of instructions in the node's binary;
+	// instruction counters over this trace have ProgramLen dimensions.
+	ProgramLen int
+	Markers    []Marker
+	// TruthInstance, when recorded, maps marker index to the runtime's
+	// ground-truth event-procedure instance ID that caused the marker
+	// (-1 when not applicable). It exists so tests can verify that the
+	// paper's black-box interval identification matches reality; the
+	// analyzer itself never reads it.
+	TruthInstance []int
+}
+
+// Trace is a whole test run: one NodeTrace per node.
+type Trace struct {
+	// Seed is the RNG seed the run was generated with.
+	Seed uint64
+	// Cycles is the simulated run length in cycles.
+	Cycles uint64
+	Nodes  []*NodeTrace
+}
+
+// Node returns the trace of the node with the given ID, or nil.
+func (t *Trace) Node(id int) *NodeTrace {
+	for _, n := range t.Nodes {
+		if n.NodeID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Validate performs structural checks: non-decreasing cycles, known kinds,
+// PCs within the program, and ground-truth length agreement.
+func (t *Trace) Validate() error {
+	for _, n := range t.Nodes {
+		if n == nil {
+			return fmt.Errorf("trace: nil node trace")
+		}
+		if n.TruthInstance != nil && len(n.TruthInstance) != len(n.Markers) {
+			return fmt.Errorf("trace: node %d: %d truth entries for %d markers",
+				n.NodeID, len(n.TruthInstance), len(n.Markers))
+		}
+		var prev uint64
+		for i, m := range n.Markers {
+			if m.Kind < PostTask || m.Kind > TaskEnd {
+				return fmt.Errorf("trace: node %d marker %d: bad kind %d", n.NodeID, i, m.Kind)
+			}
+			if m.Cycle < prev {
+				return fmt.Errorf("trace: node %d marker %d: cycle %d before %d",
+					n.NodeID, i, m.Cycle, prev)
+			}
+			prev = m.Cycle
+			for _, d := range m.Deltas {
+				if int(d.PC) >= n.ProgramLen {
+					return fmt.Errorf("trace: node %d marker %d: pc %d outside program of %d",
+						n.NodeID, i, d.PC, n.ProgramLen)
+				}
+				if d.Count == 0 {
+					return fmt.Errorf("trace: node %d marker %d: zero-count delta", n.NodeID, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SizeBytes estimates the serialized footprint of the trace: the number the
+// paper contrasts with "tens of megabytes" of raw function-level logs.
+func (t *Trace) SizeBytes() int {
+	const markerHeader = 1 + 2 + 8 // kind + arg + cycle
+	const deltaSize = 2 + 4
+	size := 16
+	for _, n := range t.Nodes {
+		size += 8
+		for _, m := range n.Markers {
+			size += markerHeader + deltaSize*len(m.Deltas)
+		}
+	}
+	return size
+}
+
+// Recorder accumulates one node's trace during emulation. It owns a dense
+// per-PC counter that the MCU increments; Mark snapshots and resets it as a
+// sparse delta.
+type Recorder struct {
+	nt      *NodeTrace
+	counts  []uint32
+	touched []uint16 // PCs with nonzero counts, in first-touch order
+	truth   bool
+	minSP   uint16
+}
+
+// NewRecorder creates a recorder for a node executing a program of
+// programLen instructions. When truth is set, ground-truth instance IDs are
+// recorded alongside markers.
+func NewRecorder(nodeID, programLen int, truth bool) *Recorder {
+	return &Recorder{
+		nt: &NodeTrace{
+			NodeID:     nodeID,
+			ProgramLen: programLen,
+		},
+		counts: make([]uint32, programLen),
+		truth:  truth,
+		minSP:  0xffff,
+	}
+}
+
+// ObserveSP records a stack-pointer sample; the minimum since the previous
+// marker lands in that marker's MinSP.
+func (r *Recorder) ObserveSP(sp uint16) {
+	if sp < r.minSP {
+		r.minSP = sp
+	}
+}
+
+// CountPC records one execution of the instruction at pc.
+func (r *Recorder) CountPC(pc uint16) {
+	if r.counts[pc] == 0 {
+		r.touched = append(r.touched, pc)
+	}
+	r.counts[pc]++
+}
+
+// Mark appends a lifecycle marker carrying the delta accumulated since the
+// previous marker. instance is the ground-truth event-procedure instance ID
+// (use -1 when unknown); it is stored only when the recorder was created
+// with truth recording enabled.
+func (r *Recorder) Mark(kind Kind, arg int, cycle uint64, instance int) {
+	var deltas []Delta
+	if len(r.touched) > 0 {
+		deltas = make([]Delta, 0, len(r.touched))
+		for _, pc := range r.touched {
+			deltas = append(deltas, Delta{PC: pc, Count: r.counts[pc]})
+			r.counts[pc] = 0
+		}
+		r.touched = r.touched[:0]
+	}
+	r.nt.Markers = append(r.nt.Markers, Marker{
+		Kind: kind, Arg: arg, Cycle: cycle, Deltas: deltas, MinSP: r.minSP,
+	})
+	r.minSP = 0xffff
+	if r.truth {
+		r.nt.TruthInstance = append(r.nt.TruthInstance, instance)
+	}
+}
+
+// Finish returns the accumulated node trace. Instructions executed after
+// the last marker are discarded, mirroring a monitor detached at run end.
+func (r *Recorder) Finish() *NodeTrace { return r.nt }

@@ -1,0 +1,288 @@
+// Package sentomist reproduces "Sentomist: Unveiling Transient Sensor
+// Network Bugs via Symptom Mining" (Zhou, Chen, Lyu, Liu — ICDCS 2010) as a
+// Go library.
+//
+// Sentomist mines the execution trace of an event-driven wireless sensor
+// network application for the symptoms of transient bugs. It anatomizes the
+// trace into event-handling intervals (the lifetime of one event-procedure
+// instance), features each interval as an instruction counter, scores every
+// interval with a plug-in outlier detector (a one-class ν-SVM by default),
+// and ranks the intervals most deserving of manual inspection first.
+//
+// The package bundles everything the paper's pipeline needs, built from
+// scratch on the standard library:
+//
+//   - a cycle-accurate virtual microcontroller (SVM-8) with an assembler,
+//     TinyOS-style interrupt/task runtime, hardware devices, and a CSMA
+//     radio medium for multi-node simulation;
+//   - the interval-identification algorithm over lifecycle sequences;
+//   - the one-class SVM and alternative outlier detectors;
+//   - the paper's three case-study applications, each with its transient
+//     bug and a fixed variant.
+//
+// # Quick start
+//
+//	run, err := sentomist.RunCaseI(sentomist.CaseIConfig{
+//		PeriodMS: 20, Seconds: 10, Seed: 1,
+//	})
+//	if err != nil { ... }
+//	ranking, err := sentomist.Mine(
+//		[]sentomist.RunInput{{Trace: run.Trace, Programs: run.Programs}},
+//		sentomist.MineConfig{IRQ: sentomist.IRQADC, Nodes: []int{sentomist.CaseISensorID}},
+//	)
+//	fmt.Print(ranking.Table(5, 2))
+//
+// Custom applications are written in SVM-8 assembly and wired into a
+// Scenario; see NewScenario and the examples directory.
+package sentomist
+
+import (
+	"io"
+
+	"sentomist/internal/apps"
+	"sentomist/internal/bundle"
+	"sentomist/internal/core"
+	"sentomist/internal/isa"
+	"sentomist/internal/lifecycle"
+	"sentomist/internal/outlier"
+	"sentomist/internal/svm"
+	"sentomist/internal/trace"
+)
+
+// Interrupt numbers of the simulated node hardware, used to select which
+// event type to mine.
+const (
+	IRQTimer0  = 1 // data-report / sampling timer
+	IRQTimer1  = 2 // auxiliary timer (heartbeat protocol)
+	IRQADC     = 3 // ADC conversion complete (sensor reading ready)
+	IRQRadioRX = 4 // frame received (the paper's SPI interrupt)
+	IRQTxDone  = 5 // radio send completed
+)
+
+// Core pipeline types.
+type (
+	// Trace is a recorded testing run: per-node lifecycle sequences
+	// with instruction-count deltas.
+	Trace = trace.Trace
+	// Interval is one event-handling interval (paper Definition 2).
+	Interval = lifecycle.Interval
+	// RunInput is one testing run handed to Mine.
+	RunInput = core.RunInput
+	// MineConfig parameterizes the mining pipeline.
+	MineConfig = core.Config
+	// Ranking is the pipeline output: intervals ascending by score.
+	Ranking = core.Ranking
+	// Sample is one scored interval within a Ranking.
+	Sample = core.Sample
+	// Detector is the plug-in outlier detection interface.
+	Detector = outlier.Detector
+	// Kernel is an SVM kernel function.
+	Kernel = svm.Kernel
+)
+
+// Label styles for rendering rankings (paper Figure 5's three forms).
+const (
+	LabelRunSeq  = core.LabelRunSeq
+	LabelSeqOnly = core.LabelSeqOnly
+	LabelNodeSeq = core.LabelNodeSeq
+)
+
+// Feature kinds for MineConfig.Feature.
+const (
+	FeatureCounter    = core.FeatureCounter
+	FeatureFuncCount  = core.FeatureFuncCount
+	FeatureDuration   = core.FeatureDuration
+	FeatureStackDepth = core.FeatureStackDepth
+)
+
+// Mine runs the Sentomist pipeline (anatomize → feature → detect → rank)
+// over one or more testing runs.
+func Mine(runs []RunInput, cfg MineConfig) (*Ranking, error) {
+	return core.Mine(runs, cfg)
+}
+
+// OneClassSVM returns the paper's default detector with the given ν
+// (fraction of samples treated as outliers; 0 selects 0.05). A nil kernel
+// selects RBF with gamma = 1/dim.
+func OneClassSVM(nu float64, kernel Kernel) Detector {
+	return outlier.OneClassSVM{Nu: nu, Kernel: kernel}
+}
+
+// PCADetector scores by reconstruction error outside the principal
+// subspace capturing varFraction of the variance (0 selects 0.95).
+func PCADetector(varFraction float64) Detector {
+	return outlier.PCA{VarFraction: varFraction}
+}
+
+// KNNDetector scores by distance to the k-th nearest neighbour (0 selects
+// k = 5).
+func KNNDetector(k int) Detector {
+	return outlier.KNN{K: k}
+}
+
+// MahalanobisDetector scores by diagonal Mahalanobis distance from the
+// batch mean.
+func MahalanobisDetector() Detector {
+	return outlier.Mahalanobis{}
+}
+
+// KernelPCADetector scores by reconstruction error in kernel feature space
+// (nil kernel selects RBF with gamma = 1/dim; components 0 selects 4).
+func KernelPCADetector(kernel Kernel, components int) Detector {
+	return outlier.KernelPCA{Kernel: kernel, Components: components}
+}
+
+// RBFKernel returns the Gaussian kernel exp(-gamma ‖a-b‖²).
+func RBFKernel(gamma float64) Kernel { return svm.RBF{Gamma: gamma} }
+
+// LinearKernel returns the inner-product kernel.
+func LinearKernel() Kernel { return svm.Linear{} }
+
+// Scenario building (custom applications).
+type (
+	// Scenario wires user-written SVM-8 programs into a multi-node
+	// simulation.
+	Scenario = apps.Scenario
+	// NodeSpec describes one node of a Scenario.
+	NodeSpec = apps.NodeSpec
+	// Run is a finished simulation: trace, programs, network, nodes.
+	Run = apps.Run
+)
+
+// NewScenario creates an empty scenario whose randomness derives from seed.
+func NewScenario(seed uint64) *Scenario { return apps.NewScenario(seed) }
+
+// Case studies (the paper's Section VI).
+type (
+	// CaseIConfig configures the data-pollution study (paper §VI-B).
+	CaseIConfig = apps.OscConfig
+	// CaseIIConfig configures the packet-loss study (paper §VI-C).
+	CaseIIConfig = apps.ForwarderConfig
+	// CaseIIIConfig configures the CTP-hang study (paper §VI-D).
+	CaseIIIConfig = apps.CTPConfig
+)
+
+// Node IDs of the case-study topologies.
+const (
+	CaseISinkID    = apps.OscSinkID
+	CaseISensorID  = apps.OscSensorID
+	CaseIISinkID   = apps.FwdSinkID
+	CaseIIRelayID  = apps.FwdRelayID
+	CaseIISourceID = apps.FwdSourceID
+	CaseIIIRootID  = apps.CTPRootID
+)
+
+// CaseIIISources returns the monitored source nodes of Case III.
+func CaseIIISources() []int {
+	return append([]int(nil), apps.CTPSources...)
+}
+
+// RunCaseI executes one Case-I testing run (single-hop collection with the
+// Figure-2 data-pollution race).
+func RunCaseI(cfg CaseIConfig) (*Run, error) { return apps.RunOscilloscope(cfg) }
+
+// RunCaseII executes one Case-II testing run (multi-hop forwarding with
+// the busy-flag active drop).
+func RunCaseII(cfg CaseIIConfig) (*Run, error) { return apps.RunForwarder(cfg) }
+
+// RunCaseIII executes one Case-III testing run (CTP + heartbeat with the
+// unhandled send failure).
+func RunCaseIII(cfg CaseIIIConfig) (*Run, error) { return apps.RunCTPHeartbeat(cfg) }
+
+// CaseISymptom is the Case-I ground-truth oracle: the interval shows the
+// Figure-2 data-pollution race. Experiments use it to confirm top-ranked
+// intervals, standing in for the paper's manual inspection.
+func CaseISymptom(run *Run, iv Interval) bool { return apps.CaseISymptom(run, iv) }
+
+// CaseIISymptom is the Case-II oracle: the interval took the busy-flag
+// active-drop path.
+func CaseIISymptom(run *Run, iv Interval) bool { return apps.CaseIISymptom(run, iv) }
+
+// CaseIIITrigger is the Case-III oracle for the FAIL-trigger instance.
+func CaseIIITrigger(run *Run, iv Interval) bool { return apps.CaseIIITrigger(run, iv) }
+
+// CaseIIISymptom is the Case-III oracle for any hang symptom (the trigger
+// or a post-hang skipped report).
+func CaseIIISymptom(run *Run, iv Interval) bool { return apps.CaseIIISymptom(run, iv) }
+
+// LoadTrace reads a trace saved by SaveTrace (binary, or JSON for paths
+// ending in ".json").
+func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }
+
+// SaveTrace writes a trace to path (binary, or JSON for ".json" paths).
+func SaveTrace(t *Trace, path string) error { return t.SaveFile(path) }
+
+// ExtractIntervals anatomizes a trace into event-handling intervals without
+// running a detector — the paper's Section V-A step on its own.
+func ExtractIntervals(t *Trace) ([]Interval, error) {
+	return lifecycle.ExtractTrace(t)
+}
+
+// Program is a linked SVM-8 binary (code image, vectors, tasks, symbols).
+type Program = isa.Program
+
+// SymbolCount is one row of an interval inspection.
+type SymbolCount = core.SymbolCount
+
+// SymbolCounts aggregates an interval's instruction counter by program
+// symbol, highest count first — the first thing to look at when manually
+// inspecting a top-ranked interval.
+func SymbolCounts(t *Trace, prog *Program, iv Interval) ([]SymbolCount, error) {
+	return core.SymbolCounts(t, prog, iv)
+}
+
+// DescribeInterval renders an interval's lifecycle item window in the
+// paper's notation ("int(3), postTask(0), reti, int(3), reti, runTask(0)").
+func DescribeInterval(t *Trace, iv Interval) (string, error) {
+	return core.DescribeInterval(t, iv)
+}
+
+// Bug localization (the paper's stated future work, Section VII).
+type (
+	// LocalizeConfig parameterizes Localize.
+	LocalizeConfig = core.LocalizeConfig
+	// LineSuspicion is one localized code location.
+	LineSuspicion = core.LineSuspicion
+)
+
+// Localize correlates a ranking's suspicious intervals with program
+// instructions, returning the code locations most implicated in the
+// symptom — the paper's symptom-to-source extension.
+func Localize(runs []RunInput, ranking *Ranking, prog *Program, cfg LocalizeConfig) ([]LineSuspicion, error) {
+	return core.Localize(runs, ranking, prog, cfg)
+}
+
+// LocalizeReport renders suspicions as a table.
+func LocalizeReport(suspicions []LineSuspicion) string {
+	return core.LocalizeReport(suspicions)
+}
+
+// AnnotatedListing renders the instructions an interval executed as an
+// annotated disassembly with per-instruction execution counts — the
+// artifact a developer reads when manually inspecting a ranked interval.
+func AnnotatedListing(t *Trace, prog *Program, iv Interval) (string, error) {
+	return core.AnnotatedListing(t, prog, iv)
+}
+
+// Bundle is a persisted testing run: the trace plus every node's binary
+// and variable table, enabling fully offline mining and inspection.
+type Bundle = bundle.Bundle
+
+// SaveBundle persists a finished run to path.
+func SaveBundle(run *Run, path string) error {
+	b := &Bundle{Trace: run.Trace, Programs: run.Programs, Vars: run.Vars}
+	return b.SaveFile(path)
+}
+
+// LoadBundle reads a bundle saved by SaveBundle.
+func LoadBundle(path string) (*Bundle, error) { return bundle.LoadFile(path) }
+
+// HTMLConfig parameterizes HTMLReport.
+type HTMLConfig = core.HTMLConfig
+
+// HTMLReport renders a ranking as a self-contained HTML page: the full
+// suspicion table, detailed inspections of the top intervals, and the
+// symptom-to-source localization.
+func HTMLReport(w io.Writer, runs []RunInput, ranking *Ranking, prog *Program, cfg HTMLConfig) error {
+	return core.HTMLReport(w, runs, ranking, prog, cfg)
+}
