@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-all golden clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The engine benchmarks behind docs/PERFORMANCE.md.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkMine|BenchmarkSVMTrain|BenchmarkCounterSparse' -benchmem .
+	$(GO) test -run xxx -bench . -benchmem ./internal/svm/ ./internal/feature/
+
+# Every benchmark, including the paper-evaluation harness (slow).
+bench-all:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Regenerate-and-diff the pinned ranking tables.
+golden:
+	$(GO) test -run Golden ./internal/apps/
+
+clean:
+	$(GO) clean
+	rm -f sentomist.test

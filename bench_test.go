@@ -24,7 +24,11 @@ import (
 
 	"sentomist"
 	"sentomist/internal/experiments"
+	"sentomist/internal/feature"
 	"sentomist/internal/lifecycle"
+	"sentomist/internal/outlier"
+	"sentomist/internal/stats"
+	"sentomist/internal/svm"
 	"sentomist/internal/synth"
 )
 
@@ -312,4 +316,195 @@ func BenchmarkScalability(b *testing.B) {
 			}
 		})
 	}
+}
+
+// caseIPooledInputs simulates the five canonical Case-I runs once, the
+// workload BenchmarkMine and BenchmarkSVMTrain mine repeatedly.
+func caseIPooledInputs(b *testing.B) []sentomist.RunInput {
+	b.Helper()
+	var inputs []sentomist.RunInput
+	for i, d := range []int{20, 40, 60, 80, 100} {
+		run, err := sentomist.RunCaseI(sentomist.CaseIConfig{
+			PeriodMS: d, Seconds: 10, Seed: uint64(experiments.CaseISeedBase + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs = append(inputs, sentomist.RunInput{Trace: run.Trace, Programs: run.Programs})
+	}
+	return inputs
+}
+
+// BenchmarkMine compares the mining engine's configurations on the pooled
+// Case-I workload (simulation excluded): the dense sequential baseline
+// against the sparse/parallel default. Rankings are identical across all
+// variants (see TestMineSparseParallelEquivalence); only the cost differs.
+func BenchmarkMine(b *testing.B) {
+	inputs := caseIPooledInputs(b)
+	variants := []struct {
+		name string
+		cfg  sentomist.MineConfig
+	}{
+		{"dense_sequential", sentomist.MineConfig{
+			DenseFeatures: true, Parallelism: 1,
+			Detector: outlier.OneClassSVM{Parallelism: 1},
+		}},
+		{"dense_parallel", sentomist.MineConfig{
+			DenseFeatures: true,
+			Detector:      outlier.OneClassSVM{},
+		}},
+		{"sparse_sequential", sentomist.MineConfig{
+			Parallelism: 1,
+			Detector:    outlier.OneClassSVM{Parallelism: 1},
+		}},
+		{"sparse_parallel", sentomist.MineConfig{}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := v.cfg
+			cfg.IRQ = sentomist.IRQADC
+			cfg.Nodes = []int{sentomist.CaseISensorID}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := sentomist.Mine(inputs, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Samples) == 0 {
+					b.Fatal("empty ranking")
+				}
+			}
+		})
+	}
+}
+
+// pooledCounters extracts the scaled Case-I feature matrix in both
+// representations.
+func pooledCounters(b *testing.B, inputs []sentomist.RunInput) ([][]float64, []stats.Sparse) {
+	b.Helper()
+	var dense [][]float64
+	var sparse []stats.Sparse
+	for _, in := range inputs {
+		ext := feature.NewExtractor(in.Trace)
+		nt := in.Trace.Node(sentomist.CaseISensorID)
+		ivs, err := lifecycle.NewSequence(nt).Extract()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, iv := range ivs {
+			if iv.IRQ != sentomist.IRQADC || !iv.Complete {
+				continue
+			}
+			dv, err := ext.Counter(iv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sv, err := ext.CounterSparse(iv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dense = append(dense, dv)
+			sparse = append(sparse, sv)
+		}
+	}
+	feature.Scale01(dense)
+	feature.Scale01Sparse(sparse)
+	return dense, sparse
+}
+
+// BenchmarkSVMTrain isolates detector training on the pooled Case-I
+// feature matrix: dense vs sparse kernel evaluation, sequential vs
+// parallel Gram construction. Training includes the Gram-reuse scoring of
+// every training row (Model.TrainingDecisions).
+func BenchmarkSVMTrain(b *testing.B) {
+	dense, sparse := pooledCounters(b, caseIPooledInputs(b))
+	cfg := svm.Config{Nu: 0.05}
+	b.Logf("l=%d dim=%d mean_nnz=%.1f", len(dense), len(dense[0]), meanNNZ(sparse))
+	b.Run("dense_sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Parallelism = 1
+			if _, err := svm.Train(dense, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense_parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := svm.Train(dense, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sparse_sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Parallelism = 1
+			if _, err := svm.TrainSparse(sparse, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sparse_parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := svm.TrainSparse(sparse, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func meanNNZ(samples []stats.Sparse) float64 {
+	var total int
+	for _, s := range samples {
+		total += s.NNZ()
+	}
+	return float64(total) / float64(len(samples))
+}
+
+// BenchmarkCounterSparse compares feature extraction over every complete
+// ADC interval of a Case-I run: the dense path materializes a
+// ProgramLen-dimensional vector per interval, the sparse path only its
+// executed (pc, count) pairs.
+func BenchmarkCounterSparse(b *testing.B) {
+	run, err := sentomist.RunCaseI(sentomist.CaseIConfig{PeriodMS: 20, Seconds: 10, Seed: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nt := run.Trace.Node(sentomist.CaseISensorID)
+	all, err := lifecycle.NewSequence(nt).Extract()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ivs []lifecycle.Interval
+	for _, iv := range all {
+		if iv.IRQ == sentomist.IRQADC && iv.Complete {
+			ivs = append(ivs, iv)
+		}
+	}
+	ext := feature.NewExtractor(run.Trace)
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, iv := range ivs {
+				if _, err := ext.Counter(iv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, iv := range ivs {
+				if _, err := ext.CounterSparse(iv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }

@@ -8,12 +8,15 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"sentomist/internal/feature"
 	"sentomist/internal/isa"
 	"sentomist/internal/lifecycle"
 	"sentomist/internal/outlier"
+	"sentomist/internal/stats"
 	"sentomist/internal/trace"
 )
 
@@ -61,6 +64,18 @@ type Config struct {
 	Feature FeatureKind
 	// Labels defaults to LabelRunSeq.
 	Labels LabelStyle
+	// Parallelism bounds the worker pool that anatomizes and features
+	// the runs' nodes concurrently: 0 selects GOMAXPROCS, 1 forces the
+	// sequential path. Samples are stitched back in deterministic
+	// (run, node, interval) order, so the ranking is identical at any
+	// setting.
+	Parallelism int
+	// DenseFeatures forces dense feature extraction. By default
+	// FeatureCounter uses the sparse path — (pc, count) pairs instead of
+	// ProgramLen-dimensional vectors — which produces bit-identical
+	// rankings; this switch exists for benchmarking the dense baseline
+	// and for equivalence tests.
+	DenseFeatures bool
 }
 
 // Sample is one scored event-handling interval.
@@ -170,9 +185,21 @@ func Mine(runs []RunInput, cfg Config) (*Ranking, error) {
 		allowed[id] = true
 	}
 
-	var samples []Sample
-	var vectors [][]float64
-	excluded := 0
+	// Sparse extraction is the default for instruction counters; every
+	// other feature kind is low-dimensional already.
+	sparse := feat == FeatureCounter && !cfg.DenseFeatures
+
+	// One job per (run, node), in the exact order the sequential loops
+	// visited them; results are stitched back in job order so the sample
+	// sequence — and therefore the ranking — is identical at any
+	// parallelism.
+	type job struct {
+		runIdx int
+		run    RunInput
+		ext    *feature.Extractor
+		nt     *trace.NodeTrace
+	}
+	var jobs []job
 	for ri, run := range runs {
 		if run.Trace == nil {
 			return nil, fmt.Errorf("core: run %d has no trace", ri+1)
@@ -182,40 +209,136 @@ func Mine(runs []RunInput, cfg Config) (*Ranking, error) {
 			if len(allowed) > 0 && !allowed[nt.NodeID] {
 				continue
 			}
-			seq := lifecycle.NewSequence(nt)
-			ivs, err := seq.Extract()
-			if err != nil {
-				return nil, fmt.Errorf("core: run %d node %d: %w", ri+1, nt.NodeID, err)
-			}
-			for _, iv := range ivs {
-				if iv.IRQ != cfg.IRQ {
-					continue
-				}
-				if !iv.Complete {
-					excluded++
-					continue
-				}
-				v, err := extractFeature(ext, run, feat, iv)
-				if err != nil {
-					return nil, fmt.Errorf("core: run %d node %d: %w", ri+1, nt.NodeID, err)
-				}
-				samples = append(samples, Sample{Run: ri + 1, Interval: iv})
-				vectors = append(vectors, v)
-			}
-		}
-	}
-	if len(vectors) == 0 {
-		return nil, ErrNoIntervals
-	}
-	dim := len(vectors[0])
-	for i, v := range vectors {
-		if len(v) != dim {
-			return nil, fmt.Errorf("core: sample %d has %d dims, want %d — runs use different binaries", i, len(v), dim)
+			jobs = append(jobs, job{runIdx: ri, run: run, ext: ext, nt: nt})
 		}
 	}
 
-	feature.Scale01(vectors)
-	scores, err := det.Score(vectors)
+	type result struct {
+		samples  []Sample
+		dense    [][]float64
+		sparse   []stats.Sparse
+		excluded int
+		err      error
+	}
+	results := make([]result, len(jobs))
+	mine := func(jb job, res *result) {
+		seq := lifecycle.NewSequence(jb.nt)
+		ivs, err := seq.Extract()
+		if err != nil {
+			res.err = fmt.Errorf("core: run %d node %d: %w", jb.runIdx+1, jb.nt.NodeID, err)
+			return
+		}
+		for _, iv := range ivs {
+			if iv.IRQ != cfg.IRQ {
+				continue
+			}
+			if !iv.Complete {
+				res.excluded++
+				continue
+			}
+			if sparse {
+				v, err := jb.ext.CounterSparse(iv)
+				if err != nil {
+					res.err = fmt.Errorf("core: run %d node %d: %w", jb.runIdx+1, jb.nt.NodeID, err)
+					return
+				}
+				res.sparse = append(res.sparse, v)
+			} else {
+				v, err := extractFeature(jb.ext, jb.run, feat, iv)
+				if err != nil {
+					res.err = fmt.Errorf("core: run %d node %d: %w", jb.runIdx+1, jb.nt.NodeID, err)
+					return
+				}
+				res.dense = append(res.dense, v)
+			}
+			res.samples = append(res.samples, Sample{Run: jb.runIdx + 1, Interval: iv})
+		}
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, jb := range jobs {
+			mine(jb, &results[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					mine(jobs[i], &results[i])
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	var samples []Sample
+	var vectors [][]float64
+	var svectors []stats.Sparse
+	excluded := 0
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			return nil, res.err
+		}
+		excluded += res.excluded
+		samples = append(samples, res.samples...)
+		vectors = append(vectors, res.dense...)
+		svectors = append(svectors, res.sparse...)
+	}
+
+	var dim int
+	var scores []float64
+	var err error
+	if sparse {
+		if len(svectors) == 0 {
+			return nil, ErrNoIntervals
+		}
+		dim = svectors[0].Dim
+		for i, v := range svectors {
+			if v.Dim != dim {
+				return nil, fmt.Errorf("core: sample %d has %d dims, want %d — runs use different binaries", i, v.Dim, dim)
+			}
+		}
+		feature.Scale01Sparse(svectors)
+		if sd, ok := det.(outlier.SparseDetector); ok {
+			scores, err = sd.ScoreSparse(svectors)
+		} else {
+			// Densify the scaled batch for detectors without a
+			// sparse path; scaled-then-densified equals
+			// densified-then-scaled exactly.
+			vectors = make([][]float64, len(svectors))
+			for i, v := range svectors {
+				vectors[i] = v.Dense()
+			}
+			scores, err = det.Score(vectors)
+		}
+	} else {
+		if len(vectors) == 0 {
+			return nil, ErrNoIntervals
+		}
+		dim = len(vectors[0])
+		for i, v := range vectors {
+			if len(v) != dim {
+				return nil, fmt.Errorf("core: sample %d has %d dims, want %d — runs use different binaries", i, len(v), dim)
+			}
+		}
+		feature.Scale01(vectors)
+		scores, err = det.Score(vectors)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: detector %s: %w", det.Name(), err)
 	}

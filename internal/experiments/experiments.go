@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"sentomist/internal/apps"
 	"sentomist/internal/baseline"
@@ -43,21 +44,35 @@ type CaseResult struct {
 	Table string
 }
 
-// CaseI reproduces Figure 5(a): five pooled runs, D = 20..100 ms.
+// CaseIPeriods are the sampling periods (ms) of the five pooled Case-I
+// testing runs.
+var CaseIPeriods = []int{20, 40, 60, 80, 100}
+
+// CaseI reproduces Figure 5(a): five pooled runs, D = 20..100 ms. The five
+// simulations are independent (each derives its randomness from its own
+// seed), so they execute concurrently; results are collected by run index,
+// keeping the pooled sample order — and the ranking — identical to a
+// sequential pass.
 func CaseI(seedBase uint64) (*CaseResult, error) {
-	var (
-		runs   []*apps.Run
-		inputs []core.RunInput
-	)
-	for i, d := range []int{20, 40, 60, 80, 100} {
-		run, err := apps.RunOscilloscope(apps.OscConfig{
-			PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: case I run %d: %w", i+1, err)
+	runs := make([]*apps.Run, len(CaseIPeriods))
+	errs := make([]error, len(CaseIPeriods))
+	var wg sync.WaitGroup
+	for i, d := range CaseIPeriods {
+		wg.Add(1)
+		go func(i, d int) {
+			defer wg.Done()
+			runs[i], errs[i] = apps.RunOscilloscope(apps.OscConfig{
+				PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
+			})
+		}(i, d)
+	}
+	wg.Wait()
+	inputs := make([]core.RunInput, len(runs))
+	for i, run := range runs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiments: case I run %d: %w", i+1, errs[i])
 		}
-		runs = append(runs, run)
-		inputs = append(inputs, core.RunInput{Trace: run.Trace, Programs: run.Programs})
+		inputs[i] = core.RunInput{Trace: run.Trace, Programs: run.Programs}
 	}
 	ranking, err := core.Mine(inputs, core.Config{
 		IRQ:   dev.IRQADC,

@@ -1,0 +1,107 @@
+package feature
+
+import (
+	"testing"
+
+	"sentomist/internal/lifecycle"
+	"sentomist/internal/randx"
+	"sentomist/internal/stats"
+	"sentomist/internal/trace"
+)
+
+// benchTrace synthesizes a node trace shaped like the Case-I workload: many
+// short interrupt instances, each marker carrying a handful of deltas over a
+// small working set of PCs out of a large program.
+func benchTrace(instances int) (*trace.Trace, []lifecycle.Interval) {
+	rng := randx.New(11)
+	const programLen = 256
+	nt := &trace.NodeTrace{NodeID: 1, ProgramLen: programLen}
+	cycle := uint64(0)
+	for i := 0; i < instances; i++ {
+		cycle += 100
+		nt.Markers = append(nt.Markers, trace.Marker{Kind: trace.Int, Arg: 3, Cycle: cycle})
+		deltas := make([]trace.Delta, 0, 6)
+		for d := 0; d < 6; d++ {
+			deltas = append(deltas, trace.Delta{
+				PC:    uint16(rng.Uint64() % 16), // hot 16-PC working set
+				Count: uint32(1 + rng.Uint64()%8),
+			})
+		}
+		cycle += 50
+		nt.Markers = append(nt.Markers, trace.Marker{Kind: trace.Reti, Cycle: cycle, Deltas: deltas})
+	}
+	tr := &trace.Trace{Nodes: []*trace.NodeTrace{nt}}
+	ivs, err := lifecycle.ExtractTrace(tr)
+	if err != nil {
+		panic(err)
+	}
+	return tr, ivs
+}
+
+// BenchmarkCounter compares dense and sparse instruction-counter extraction
+// over a synthetic 500-instance trace.
+func BenchmarkCounter(b *testing.B) {
+	tr, ivs := benchTrace(500)
+	ext := NewExtractor(tr)
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, iv := range ivs {
+				if _, err := ext.Counter(iv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, iv := range ivs {
+				if _, err := ext.CounterSparse(iv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// benchMatrix builds an n×dim matrix with nnz nonzero dimensions per row,
+// in both representations, for the scaling benchmarks.
+func benchMatrix(n, dim, nnz int) ([][]float64, []stats.Sparse) {
+	rng := randx.New(5)
+	dense := make([][]float64, n)
+	sparse := make([]stats.Sparse, n)
+	for i := range dense {
+		v := make([]float64, dim)
+		for k := 0; k < nnz; k++ {
+			v[rng.Uint64()%uint64(dim)] = float64(1 + rng.Uint64()%100)
+		}
+		dense[i] = v
+		sparse[i] = stats.DenseToSparse(v)
+	}
+	return dense, sparse
+}
+
+// BenchmarkScale01 compares [0,1] rescaling of a 1000×256 matrix with 8
+// nonzeros per row: the dense pass touches every cell of every constant-zero
+// dimension, the sparse pass only explicit entries.
+func BenchmarkScale01(b *testing.B) {
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dense, _ := benchMatrix(1000, 256, 8)
+			b.StartTimer()
+			Scale01(dense)
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			_, sparse := benchMatrix(1000, 256, 8)
+			b.StartTimer()
+			Scale01Sparse(sparse)
+		}
+	})
+}

@@ -14,10 +14,12 @@ package feature
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"sentomist/internal/isa"
 	"sentomist/internal/lifecycle"
+	"sentomist/internal/stats"
 	"sentomist/internal/trace"
 )
 
@@ -35,9 +37,9 @@ func NewExtractor(t *trace.Trace) *Extractor {
 	return e
 }
 
-// Counter returns the instruction counter of iv: dimension i is the number
-// of executions of instruction i within the interval window.
-func (e *Extractor) Counter(iv lifecycle.Interval) ([]float64, error) {
+// nodeWindow resolves iv's node trace and validates its marker window —
+// the one bounds check shared by every marker-walking feature.
+func (e *Extractor) nodeWindow(iv lifecycle.Interval) (*trace.NodeTrace, error) {
 	nt, ok := e.byNode[iv.Node]
 	if !ok {
 		return nil, fmt.Errorf("feature: no trace for node %d", iv.Node)
@@ -45,6 +47,16 @@ func (e *Extractor) Counter(iv lifecycle.Interval) ([]float64, error) {
 	if iv.StartMarker < 0 || iv.EndMarker >= len(nt.Markers) || iv.EndMarker < iv.StartMarker {
 		return nil, fmt.Errorf("feature: interval markers [%d,%d] out of range (node %d has %d)",
 			iv.StartMarker, iv.EndMarker, iv.Node, len(nt.Markers))
+	}
+	return nt, nil
+}
+
+// Counter returns the instruction counter of iv: dimension i is the number
+// of executions of instruction i within the interval window.
+func (e *Extractor) Counter(iv lifecycle.Interval) ([]float64, error) {
+	nt, err := e.nodeWindow(iv)
+	if err != nil {
+		return nil, err
 	}
 	v := make([]float64, nt.ProgramLen)
 	// Marker m's delta covers instructions executed in (m-1, m]; the
@@ -55,6 +67,79 @@ func (e *Extractor) Counter(iv lifecycle.Interval) ([]float64, error) {
 		}
 	}
 	return v, nil
+}
+
+// CounterSparse is Counter without materializing the dense vector: the
+// marker deltas are accumulated straight into a sorted (pc, count) list.
+// An interval executes a tiny slice of the binary, so the result holds a
+// handful of entries instead of ProgramLen dimensions. Per-PC counts are
+// accumulated in marker order, exactly as Counter does, so the densified
+// result is bit-identical to Counter's.
+func (e *Extractor) CounterSparse(iv lifecycle.Interval) (stats.Sparse, error) {
+	nt, err := e.nodeWindow(iv)
+	if err != nil {
+		return stats.Sparse{}, err
+	}
+	// Collect the window's deltas, stable-sort by PC, then coalesce
+	// runs. The stable sort keeps each PC's deltas in marker order, so
+	// per-PC sums accumulate in exactly the order Counter adds them.
+	total := 0
+	for m := iv.StartMarker + 1; m <= iv.EndMarker; m++ {
+		total += len(nt.Markers[m].Deltas)
+	}
+	type pcCount struct {
+		pc    uint16
+		count float64
+	}
+	pairs := make([]pcCount, 0, total)
+	for m := iv.StartMarker + 1; m <= iv.EndMarker; m++ {
+		for _, d := range nt.Markers[m].Deltas {
+			if d.Count == 0 {
+				continue
+			}
+			pairs = append(pairs, pcCount{d.PC, float64(d.Count)})
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].pc < pairs[b].pc })
+	s := stats.Sparse{
+		Idx: make([]int32, 0, len(pairs)),
+		Val: make([]float64, 0, len(pairs)),
+		Dim: nt.ProgramLen,
+	}
+	for i := 0; i < len(pairs); {
+		pc := pairs[i].pc
+		sum := pairs[i].count
+		for i++; i < len(pairs) && pairs[i].pc == pc; i++ {
+			sum += pairs[i].count
+		}
+		s.Idx = append(s.Idx, int32(pc))
+		s.Val = append(s.Val, sum)
+	}
+	return s, nil
+}
+
+// CountersSparse extracts sparse instruction counters for a batch of
+// intervals; the sparse sibling of Counters, with the same shared-space
+// requirement.
+func (e *Extractor) CountersSparse(ivs []lifecycle.Interval) ([]stats.Sparse, error) {
+	if len(ivs) == 0 {
+		return nil, nil
+	}
+	dim := -1
+	out := make([]stats.Sparse, len(ivs))
+	for i, iv := range ivs {
+		v, err := e.CounterSparse(iv)
+		if err != nil {
+			return nil, err
+		}
+		if dim == -1 {
+			dim = v.Dim
+		} else if v.Dim != dim {
+			return nil, fmt.Errorf("feature: mixed program sizes (%d vs %d): intervals span different binaries", dim, v.Dim)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // Counters extracts instruction counters for a batch of intervals. All
@@ -112,12 +197,12 @@ func (e *Extractor) Duration(iv lifecycle.Interval) []float64 {
 // the "memory usage" attribute the paper's Section V-B lists among the
 // straightforward candidates (and rejects as application-specific).
 func (e *Extractor) StackDepth(iv lifecycle.Interval) ([]float64, error) {
-	nt, ok := e.byNode[iv.Node]
-	if !ok {
-		return nil, fmt.Errorf("feature: no trace for node %d", iv.Node)
+	nt, err := e.nodeWindow(iv)
+	if err != nil {
+		return nil, err
 	}
 	minSP := uint16(0xffff)
-	for m := iv.StartMarker + 1; m <= iv.EndMarker && m < len(nt.Markers); m++ {
+	for m := iv.StartMarker + 1; m <= iv.EndMarker; m++ {
 		if sp := nt.Markers[m].MinSP; sp < minSP {
 			minSP = sp
 		}
@@ -167,14 +252,93 @@ func Scale01(samples [][]float64) [][]float64 {
 				hi = s[d]
 			}
 		}
-		span := hi - lo
-		for _, s := range samples {
-			if span == 0 {
+		switch span := hi - lo; {
+		case span != 0:
+			for _, s := range samples {
+				s[d] = (s[d] - lo) / span
+			}
+		case lo != 0:
+			// Constant nonzero dimension: collapse to 0.
+			for _, s := range samples {
 				s[d] = 0
+			}
+			// Constant-zero dimensions (the vast majority in sparse
+			// instruction counters) need no writes at all.
+		}
+	}
+	return samples
+}
+
+// Scale01Sparse rescales each dimension of sparse samples to [0,1] in
+// place, with exactly Scale01's semantics on the densified matrix: absent
+// entries are zeros that participate in each dimension's min/max, constant
+// dimensions collapse to all-zero. Entries whose scaled value is 0 are
+// dropped, so scaling can only increase sparsity. It returns samples.
+//
+// Values must be nonnegative (instruction counters are counts). With a
+// negative entry, a dimension's minimum could fall below zero and the
+// implicit zeros of absent entries would themselves rescale to a nonzero
+// value — unrepresentable without densifying — so Scale01Sparse panics
+// rather than silently diverging from Scale01.
+func Scale01Sparse(samples []stats.Sparse) []stats.Sparse {
+	if len(samples) == 0 {
+		return samples
+	}
+	dim := samples[0].Dim
+	// Per-dimension min/max over explicit entries, plus how many samples
+	// carry the dimension — absent entries contribute an implicit 0.
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	present := make([]int, dim)
+	for d := range lo {
+		lo[d] = math.Inf(1)
+		hi[d] = math.Inf(-1)
+	}
+	for _, s := range samples {
+		for i, d := range s.Idx {
+			v := s.Val[i]
+			if v < 0 {
+				panic(fmt.Sprintf("feature: Scale01Sparse requires nonnegative values, got %g at dim %d", v, d))
+			}
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+			present[d]++
+		}
+	}
+	n := len(samples)
+	for d := range lo {
+		if present[d] < n {
+			// Some sample holds an implicit zero here.
+			if lo[d] > 0 || present[d] == 0 {
+				lo[d] = 0
+			}
+			if hi[d] < 0 || present[d] == 0 {
+				hi[d] = 0
+			}
+		}
+	}
+	for si := range samples {
+		s := &samples[si]
+		kept := 0
+		for i, d := range s.Idx {
+			span := hi[d] - lo[d]
+			if span == 0 {
+				continue // constant dimension: scaled value is 0
+			}
+			v := (s.Val[i] - lo[d]) / span
+			if v == 0 {
 				continue
 			}
-			s[d] = (s[d] - lo) / span
+			s.Idx[kept] = d
+			s.Val[kept] = v
+			kept++
 		}
+		s.Idx = s.Idx[:kept]
+		s.Val = s.Val[:kept]
 	}
 	return samples
 }

@@ -258,3 +258,50 @@ func TestRecorderObserveSP(t *testing.T) {
 		t.Fatalf("second MinSP %d (must reset between markers)", nt.Markers[1].MinSP)
 	}
 }
+
+// TestScale01ConstantDims pins the constant-dimension behaviour the
+// single-pass rescale must preserve: constant-zero dimensions are left
+// untouched (no writes at all) and constant-nonzero dimensions collapse
+// to 0, while varying dimensions still span [0,1].
+func TestScale01ConstantDims(t *testing.T) {
+	samples := [][]float64{
+		{0, 7, 2},
+		{0, 7, 4},
+		{0, 7, 6},
+	}
+	Scale01(samples)
+	want := [][]float64{
+		{0, 0, 0},
+		{0, 0, 0.5},
+		{0, 0, 1},
+	}
+	for i := range want {
+		for d := range want[i] {
+			if samples[i][d] != want[i][d] {
+				t.Fatalf("scaled[%d][%d] = %v, want %v", i, d, samples[i][d], want[i][d])
+			}
+		}
+	}
+}
+
+// TestStackDepthMarkerBounds is the regression test for the
+// Counter/StackDepth inconsistency: StackDepth used to clamp out-of-range
+// markers silently where Counter errored. Both now share one validation.
+func TestStackDepthMarkerBounds(t *testing.T) {
+	tr := twoInstanceTrace()
+	ivs := extractIntervals(t, tr)
+	ext := NewExtractor(tr)
+	for name, mutate := range map[string]func(*lifecycle.Interval){
+		"end past markers": func(iv *lifecycle.Interval) { iv.EndMarker = len(tr.Nodes[0].Markers) },
+		"negative start":   func(iv *lifecycle.Interval) { iv.StartMarker = -1 },
+		"end before start": func(iv *lifecycle.Interval) { iv.StartMarker, iv.EndMarker = 3, 1 },
+	} {
+		iv := ivs[0]
+		mutate(&iv)
+		_, cntErr := ext.Counter(iv)
+		_, spErr := ext.StackDepth(iv)
+		if cntErr == nil || spErr == nil {
+			t.Fatalf("%s: Counter err=%v, StackDepth err=%v — both must reject", name, cntErr, spErr)
+		}
+	}
+}

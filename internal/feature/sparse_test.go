@@ -1,0 +1,96 @@
+package feature
+
+import (
+	"testing"
+
+	"sentomist/internal/stats"
+)
+
+func TestCounterSparseMatchesCounter(t *testing.T) {
+	tr := twoInstanceTrace()
+	ivs := extractIntervals(t, tr)
+	ext := NewExtractor(tr)
+	for _, iv := range ivs {
+		dense, err := ext.Counter(iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, err := ext.CounterSparse(iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparse.Dim != len(dense) {
+			t.Fatalf("sparse dim %d, dense %d", sparse.Dim, len(dense))
+		}
+		got := sparse.Dense()
+		for d := range dense {
+			if got[d] != dense[d] {
+				t.Fatalf("interval seq %d dim %d: sparse %g != dense %g", iv.Seq, d, got[d], dense[d])
+			}
+		}
+		for _, v := range sparse.Val {
+			if v == 0 {
+				t.Fatal("sparse counter stores an explicit zero")
+			}
+		}
+	}
+}
+
+func TestCounterSparseRejectsBadMarkers(t *testing.T) {
+	tr := twoInstanceTrace()
+	ivs := extractIntervals(t, tr)
+	ext := NewExtractor(tr)
+	bad := ivs[0]
+	bad.EndMarker = 99
+	if _, err := ext.CounterSparse(bad); err == nil {
+		t.Fatal("out-of-range marker accepted")
+	}
+	bad = ivs[0]
+	bad.Node = 42
+	if _, err := ext.CounterSparse(bad); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestScale01SparseMatchesScale01(t *testing.T) {
+	denseRows := [][]float64{
+		{0, 4, 7, 0, 5, 0},
+		{2, 4, 0, 0, 5, 1},
+		{1, 4, 3, 0, 5, 0},
+	}
+	// Independent copies: Scale01 mutates in place.
+	ref := make([][]float64, len(denseRows))
+	sparseRows := make([]stats.Sparse, len(denseRows))
+	for i, r := range denseRows {
+		ref[i] = append([]float64(nil), r...)
+		sparseRows[i] = stats.DenseToSparse(r)
+	}
+	Scale01(ref)
+	Scale01Sparse(sparseRows)
+	for i := range ref {
+		got := sparseRows[i].Dense()
+		for d := range ref[i] {
+			if got[d] != ref[i][d] {
+				t.Fatalf("row %d dim %d: sparse %g != dense %g", i, d, got[d], ref[i][d])
+			}
+		}
+	}
+	// Dimension 1 (constant 4) and dimension 4 (constant 5) collapse to
+	// zero; entries at scaled-to-zero positions are dropped.
+	for i, s := range sparseRows {
+		for _, v := range s.Val {
+			if v == 0 {
+				t.Fatalf("row %d keeps an explicit zero after scaling", i)
+			}
+		}
+	}
+}
+
+func TestScale01SparseRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative value")
+		}
+	}()
+	Scale01Sparse([]stats.Sparse{stats.DenseToSparse([]float64{1, -2, 0})})
+}

@@ -30,6 +30,15 @@ type Detector interface {
 	Score(samples [][]float64) ([]float64, error)
 }
 
+// SparseDetector is implemented by detectors that can score sparse samples
+// directly, without the batch being densified first. Scores must equal
+// Score on the densified batch (the one-class SVM's are bit-identical);
+// the pipeline densifies automatically for detectors lacking it.
+type SparseDetector interface {
+	Detector
+	ScoreSparse(samples []stats.Sparse) ([]float64, error)
+}
+
 // Normalize rescales scores in place per the paper's convention: divide by
 // the largest positive score so it becomes 1. When no score is positive —
 // or the largest positive is numerical dust next to the score range (which
@@ -81,33 +90,52 @@ type OneClassSVM struct {
 	Nu float64
 	// Kernel defaults to RBF with gamma = 1/dim.
 	Kernel svm.Kernel
+	// Parallelism bounds the goroutines building the training Gram
+	// matrix: 0 = GOMAXPROCS, 1 = sequential. Scores are identical
+	// either way.
+	Parallelism int
 }
 
 // Name implements Detector.
 func (d OneClassSVM) Name() string { return "one-class-svm" }
 
-// Score implements Detector.
-func (d OneClassSVM) Score(samples [][]float64) ([]float64, error) {
-	if len(samples) == 0 {
-		return nil, ErrNoSamples
-	}
+func (d OneClassSVM) config(l int) svm.Config {
 	nu := d.Nu
 	if nu == 0 {
 		nu = 0.05
 	}
 	// ν must leave the dual feasible: να·l ≥ 1 requires ν ≥ 1/l.
-	if lmin := 1 / float64(len(samples)); nu < lmin {
+	if lmin := 1 / float64(l); nu < lmin {
 		nu = lmin
 	}
-	model, err := svm.Train(samples, svm.Config{Nu: nu, Kernel: d.Kernel})
+	return svm.Config{Nu: nu, Kernel: d.Kernel, Parallelism: d.Parallelism}
+}
+
+// Score implements Detector. Every sample is a training point, so the
+// scores come straight from the Gram matrix built during training
+// (Model.TrainingDecisions) — no kernel re-evaluation.
+func (d OneClassSVM) Score(samples [][]float64) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	model, err := svm.Train(samples, d.config(len(samples)))
 	if err != nil {
 		return nil, fmt.Errorf("outlier: %w", err)
 	}
-	scores := make([]float64, len(samples))
-	for i, s := range samples {
-		scores[i] = model.Decision(s)
+	return Normalize(model.TrainingDecisions()), nil
+}
+
+// ScoreSparse implements SparseDetector: kernel evaluations cost O(nnz)
+// per pair, and scores are bit-identical to Score on the densified batch.
+func (d OneClassSVM) ScoreSparse(samples []stats.Sparse) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
 	}
-	return Normalize(scores), nil
+	model, err := svm.TrainSparse(samples, d.config(len(samples)))
+	if err != nil {
+		return nil, fmt.Errorf("outlier: %w", err)
+	}
+	return Normalize(model.TrainingDecisions()), nil
 }
 
 // PCA scores samples by the negated reconstruction error after projecting

@@ -1,0 +1,127 @@
+package stats
+
+import "fmt"
+
+// Sparse is a sparse vector: strictly ascending indices paired with their
+// values, plus the logical dense dimension. Instruction counters are the
+// motivating use: an event-handling interval executes a tiny slice of the
+// binary, so a counter of ProgramLen dimensions has only a handful of
+// nonzeros.
+//
+// The merge-based operations below (SparseDot, SparseSqDist) visit indices
+// in ascending order and skip only terms that contribute an exact 0.0 to
+// the dense accumulation, so their results are bit-identical to Dot and
+// SqDist on the densified vectors — rankings computed through either
+// representation agree exactly, not just within a tolerance.
+type Sparse struct {
+	Idx []int32
+	Val []float64
+	Dim int
+}
+
+// NNZ returns the number of stored entries.
+func (s Sparse) NNZ() int { return len(s.Idx) }
+
+// Dense materializes the vector as a []float64 of length Dim.
+func (s Sparse) Dense() []float64 {
+	v := make([]float64, s.Dim)
+	for i, idx := range s.Idx {
+		v[idx] = s.Val[i]
+	}
+	return v
+}
+
+// SqNorm returns ‖s‖², the squared Euclidean norm.
+func (s Sparse) SqNorm() float64 {
+	var n float64
+	for _, v := range s.Val {
+		n += v * v
+	}
+	return n
+}
+
+// DenseToSparse converts v, keeping only nonzero entries.
+func DenseToSparse(v []float64) Sparse {
+	s := Sparse{Dim: len(v)}
+	for d, x := range v {
+		if x != 0 {
+			s.Idx = append(s.Idx, int32(d))
+			s.Val = append(s.Val, x)
+		}
+	}
+	return s
+}
+
+func checkSparseDims(op string, a, b Sparse) {
+	if a.Dim != b.Dim {
+		panic(fmt.Sprintf("stats: %s dimension mismatch %d vs %d", op, a.Dim, b.Dim))
+	}
+}
+
+// SparseDot returns ⟨a,b⟩ by merging the two index lists; cost is
+// O(nnz(a)+nnz(b)) instead of O(Dim).
+func SparseDot(a, b Sparse) float64 {
+	checkSparseDims("SparseDot", a, b)
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			s += a.Val[i] * b.Val[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// SparseSqDist returns ‖a−b‖² by merging the two index lists in ascending
+// order. Dimensions where both vectors are zero contribute an exact 0.0 to
+// the dense sum, so skipping them leaves every partial sum — and the result
+// — bit-identical to SqDist on the densified vectors.
+func SparseSqDist(a, b Sparse) float64 {
+	checkSparseDims("SparseSqDist", a, b)
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			s += a.Val[i] * a.Val[i]
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			s += b.Val[j] * b.Val[j]
+			j++
+		default:
+			d := a.Val[i] - b.Val[j]
+			s += d * d
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.Idx); i++ {
+		s += a.Val[i] * a.Val[i]
+	}
+	for ; j < len(b.Idx); j++ {
+		s += b.Val[j] * b.Val[j]
+	}
+	return s
+}
+
+// SqDistViaNorms returns ‖a−b‖² as na2 + nb2 − 2⟨a,b⟩ given the
+// precomputed squared norms na2 = ‖a‖² and nb2 = ‖b‖². With norms cached
+// once per vector this needs only a sparse dot per pair, the cheapest way
+// to fill a full Gram matrix. Unlike SparseSqDist it is subject to
+// cancellation, so results agree with SqDist only to floating-point
+// accuracy (and are clamped at zero), not bit-for-bit — use SparseSqDist
+// where exact reproducibility across representations matters.
+func SqDistViaNorms(a, b Sparse, na2, nb2 float64) float64 {
+	d := na2 + nb2 - 2*SparseDot(a, b)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,110 @@
+package svm
+
+import (
+	"fmt"
+	"testing"
+
+	"sentomist/internal/randx"
+	"sentomist/internal/stats"
+)
+
+// benchCluster builds an l-sample training set in the two regimes the miner
+// sees: "distinct" (every vector unique — dedup cannot help) and "repeated"
+// (reps distinct vectors tiled across l samples, the shape of instruction
+// counters where most intervals execute the same code path).
+func benchCluster(l, dim, reps int) []stats.Sparse {
+	rng := randx.New(9)
+	distinct := sparseCluster(rng, reps, dim)
+	out := make([]stats.Sparse, l)
+	for i := range out {
+		out[i] = distinct[i%reps]
+	}
+	return out
+}
+
+// BenchmarkTrain compares dense vs sparse training on both regimes.
+// TrainSparse deduplicates identical vectors before building the Gram
+// matrix, so the "repeated" regime trains over a reps×reps kernel block
+// instead of l×l evaluations.
+func BenchmarkTrain(b *testing.B) {
+	const l, dim = 512, 128
+	for _, regime := range []struct {
+		name string
+		reps int
+	}{
+		{"distinct", l},
+		{"repeated_16", 16},
+	} {
+		sparse := benchCluster(l, dim, regime.reps)
+		dense := densify(sparse)
+		cfg := Config{Nu: 0.05, Parallelism: 1}
+		b.Run(regime.name+"/dense", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(dense, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(regime.name+"/sparse", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := TrainSparse(sparse, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelEval measures a single kernel evaluation: the dense RBF
+// walks all dim dimensions, the sparse one only the union of nonzeros.
+func BenchmarkKernelEval(b *testing.B) {
+	rng := randx.New(3)
+	for _, dim := range []int{64, 512} {
+		sp := sparseCluster(rng, 2, dim)
+		dn := densify(sp)
+		k := RBF{Gamma: 1.0 / float64(dim)}
+		b.Run(fmt.Sprintf("dim_%d/dense", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkFloat = k.Eval(dn[0], dn[1])
+			}
+		})
+		b.Run(fmt.Sprintf("dim_%d/sparse", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkFloat = k.EvalSparse(sp[0], sp[1])
+			}
+		})
+	}
+}
+
+// BenchmarkTrainingDecisions compares Gram-reuse scoring of all training
+// rows against fresh per-row kernel evaluation (what callers had to do
+// before Model cached its training decisions).
+func BenchmarkTrainingDecisions(b *testing.B) {
+	sparse := benchCluster(512, 128, 512)
+	dense := densify(sparse)
+	model, err := Train(dense, Config{Nu: 0.05, Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("gram_reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkSlice = model.TrainingDecisions()
+		}
+	})
+	b.Run("fresh_eval", func(b *testing.B) {
+		out := make([]float64, len(dense))
+		for i := 0; i < b.N; i++ {
+			for j, s := range dense {
+				out[j] = model.Decision(s)
+			}
+			sinkSlice = out
+		}
+	})
+}
+
+var (
+	sinkFloat float64
+	sinkSlice []float64
+)

@@ -1,9 +1,15 @@
 package svm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sentomist/internal/stats"
 )
 
 // Config parameterizes one-class training.
@@ -18,15 +24,33 @@ type Config struct {
 	Eps float64
 	// MaxIter bounds SMO iterations; defaults to 100·l (at least 10000).
 	MaxIter int
+	// Parallelism bounds the goroutines building the Gram matrix:
+	// 0 selects GOMAXPROCS, 1 forces sequential construction. The
+	// resulting model is identical either way — each cell is computed
+	// independently.
+	Parallelism int
+}
+
+func (cfg Config) workers() int {
+	if cfg.Parallelism > 0 {
+		return cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Model is a trained one-class SVM.
 type Model struct {
 	kernel Kernel
-	// Support vectors and their dual coefficients (only αᵢ > 0 kept).
-	sv    [][]float64
-	alpha []float64
-	rho   float64
+	// Support vectors in exactly one representation (dense when trained
+	// via Train, sparse via TrainSparse), with their dual coefficients
+	// (only αᵢ > 0 kept).
+	sv       [][]float64
+	svSparse []stats.Sparse
+	alpha    []float64
+	rho      float64
+	// trainDec caches f(xₖ) for every training sample, computed from
+	// the Gram matrix at training time (see TrainingDecisions).
+	trainDec []float64
 
 	// Training diagnostics.
 	Iters      int
@@ -55,11 +79,195 @@ func Train(samples [][]float64, cfg Config) (*Model, error) {
 	}
 	kernel := cfg.Kernel
 	if kernel == nil {
-		g := 1.0
-		if dim > 0 {
-			g = 1 / float64(dim)
+		kernel = defaultKernel(dim)
+	}
+	q := gramDense(samples, kernel, cfg.workers())
+	m, err := solve(q, cfg, kernel)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < l; k++ {
+		if m.alpha[k] > 0 {
+			m.sv = append(m.sv, samples[k])
 		}
-		kernel = RBF{Gamma: g}
+	}
+	return finish(m)
+}
+
+// TrainSparse fits a one-class ν-SVM on sparse samples. Kernel evaluation
+// costs O(nnz) per pair instead of O(dim), so training scales with how much
+// of the space each sample actually touches. The built-in kernels evaluate
+// sparse pairs bit-identically to their dense form, so the model —
+// coefficients, ρ, and every decision value — matches Train on the
+// densified samples exactly. A non-nil cfg.Kernel that does not implement
+// SparseKernel falls back to densifying the samples and calling Train.
+func TrainSparse(samples []stats.Sparse, cfg Config) (*Model, error) {
+	l := len(samples)
+	if l == 0 {
+		return nil, ErrNoData
+	}
+	if cfg.Nu <= 0 || cfg.Nu > 1 {
+		return nil, fmt.Errorf("svm: nu=%g outside (0,1]", cfg.Nu)
+	}
+	dim := samples[0].Dim
+	for i, s := range samples {
+		if s.Dim != dim {
+			return nil, fmt.Errorf("svm: sample %d has %d dims, want %d", i, s.Dim, dim)
+		}
+	}
+	kernel := cfg.Kernel
+	if kernel == nil {
+		kernel = defaultKernel(dim)
+	}
+	sk, ok := kernel.(SparseKernel)
+	if !ok {
+		dense := make([][]float64, l)
+		for i, s := range samples {
+			dense[i] = s.Dense()
+		}
+		return Train(dense, cfg)
+	}
+	q := gramSparse(samples, sk, cfg.workers())
+	m, err := solve(q, cfg, kernel)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < l; k++ {
+		if m.alpha[k] > 0 {
+			m.svSparse = append(m.svSparse, samples[k])
+		}
+	}
+	return finish(m)
+}
+
+func defaultKernel(dim int) Kernel {
+	g := 1.0
+	if dim > 0 {
+		g = 1 / float64(dim)
+	}
+	return RBF{Gamma: g}
+}
+
+// gramDense builds the full symmetric kernel matrix. Rows of the lower
+// triangle are handed to workers via an atomic counter; cells are written
+// to disjoint locations, so the result is independent of scheduling.
+func gramDense(samples [][]float64, kernel Kernel, workers int) [][]float64 {
+	return buildGram(len(samples), workers, func(i, j int) float64 {
+		return kernel.Eval(samples[i], samples[j])
+	})
+}
+
+// gramSparse is gramDense over sparse samples, with duplicate collapsing:
+// event-handling intervals overwhelmingly repeat the same code path, so a
+// batch of l samples typically holds only a handful of distinct vectors.
+// Kernel values depend solely on vector contents, so evaluating one
+// representative pair per group and broadcasting fills the l×l matrix with
+// exactly the values a pairwise build would produce — g²/2 kernel
+// evaluations instead of l²/2, plus float copies.
+func gramSparse(samples []stats.Sparse, kernel SparseKernel, workers int) [][]float64 {
+	reps, group := dedupSparse(samples)
+	if len(reps) == len(samples) {
+		return buildGram(len(samples), workers, func(i, j int) float64 {
+			return kernel.EvalSparse(samples[i], samples[j])
+		})
+	}
+	g := buildGram(len(reps), workers, func(a, b int) float64 {
+		return kernel.EvalSparse(samples[reps[a]], samples[reps[b]])
+	})
+	// Expand one full-length row per group and alias it across that
+	// group's samples: q[i][j] = g[group[i]][group[j]] with g×l storage
+	// instead of l². The solver only reads q, so sharing rows is safe.
+	l := len(samples)
+	rows := make([][]float64, len(reps))
+	for gi := range rows {
+		row := make([]float64, l)
+		grow := g[gi]
+		for j := 0; j < l; j++ {
+			row[j] = grow[group[j]]
+		}
+		rows[gi] = row
+	}
+	q := make([][]float64, l)
+	for i, gi := range group {
+		q[i] = rows[gi]
+	}
+	return q
+}
+
+// dedupSparse groups identical sparse vectors: reps lists the first sample
+// index of each distinct vector, group maps every sample to its entry in
+// reps. Keys are the raw index/value bytes, so only bit-identical vectors
+// share a group — a missed match (e.g. ±0) merely costs an extra
+// representative, never correctness.
+func dedupSparse(samples []stats.Sparse) (reps []int, group []int) {
+	group = make([]int, len(samples))
+	seen := make(map[string]int, len(samples))
+	var key []byte
+	for i, s := range samples {
+		key = key[:0]
+		for k, idx := range s.Idx {
+			key = binary.LittleEndian.AppendUint32(key, uint32(idx))
+			key = binary.LittleEndian.AppendUint64(key, math.Float64bits(s.Val[k]))
+		}
+		if gi, ok := seen[string(key)]; ok {
+			group[i] = gi
+			continue
+		}
+		seen[string(key)] = len(reps)
+		group[i] = len(reps)
+		reps = append(reps, i)
+	}
+	return reps, group
+}
+
+func buildGram(l, workers int, eval func(i, j int) float64) [][]float64 {
+	q := make([][]float64, l)
+	cells := make([]float64, l*l)
+	for i := range q {
+		q[i] = cells[i*l : (i+1)*l : (i+1)*l]
+	}
+	fill := func(i int) {
+		for j := 0; j <= i; j++ {
+			v := eval(i, j)
+			q[i][j] = v
+			q[j][i] = v
+		}
+	}
+	if workers <= 1 || l < 2 {
+		for i := 0; i < l; i++ {
+			fill(i)
+		}
+		return q
+	}
+	if workers > l {
+		workers = l
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= l {
+					return
+				}
+				fill(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return q
+}
+
+// solve runs the SMO optimizer over a precomputed Gram matrix and returns
+// a partially-filled model (alpha, rho, diagnostics); the caller attaches
+// the support-vector representation.
+func solve(q [][]float64, cfg Config, kernel Kernel) (*Model, error) {
+	l := len(q)
+	if cfg.Nu <= 0 || cfg.Nu > 1 {
+		return nil, fmt.Errorf("svm: nu=%g outside (0,1]", cfg.Nu)
 	}
 	eps := cfg.Eps
 	if eps <= 0 {
@@ -70,17 +278,6 @@ func Train(samples [][]float64, cfg Config) (*Model, error) {
 		maxIter = 100 * l
 		if maxIter < 10000 {
 			maxIter = 10000
-		}
-	}
-
-	// Full kernel matrix; l is at most a few thousand in our workloads.
-	q := make([][]float64, l)
-	for i := 0; i < l; i++ {
-		q[i] = make([]float64, l)
-		for j := 0; j <= i; j++ {
-			v := kernel.Eval(samples[i], samples[j])
-			q[i][j] = v
-			q[j][i] = v
 		}
 	}
 
@@ -95,14 +292,19 @@ func Train(samples [][]float64, cfg Config) (*Model, error) {
 		remaining -= a
 	}
 
-	// Gradient of ½αᵀQα is Qα.
+	// Gradient of ½αᵀQα is Qα. The initialization above puts mass only
+	// on a prefix of the samples, so the inner sum stops at the first
+	// zero coefficient instead of scanning all l.
+	init := 0
+	for init < l && alpha[init] > 0 {
+		init++
+	}
 	grad := make([]float64, l)
 	for i := 0; i < l; i++ {
 		var g float64
-		for j := 0; j < l; j++ {
-			if alpha[j] > 0 {
-				g += q[i][j] * alpha[j]
-			}
+		qi := q[i]
+		for j := 0; j < init; j++ {
+			g += qi[j] * alpha[j]
 		}
 		grad[i] = g
 	}
@@ -184,14 +386,49 @@ func Train(samples [][]float64, cfg Config) (*Model, error) {
 		}
 	}
 
-	m := &Model{kernel: kernel, rho: rho, Iters: iters, NumBoundSV: bound}
+	// Zero the below-threshold coefficients so the caller's SV filter
+	// and the Gram-reuse scoring below agree on the SV set.
+	svIdx := make([]int, 0, l)
 	for k := 0; k < l; k++ {
 		if alpha[k] > 1e-12 {
-			m.sv = append(m.sv, samples[k])
-			m.alpha = append(m.alpha, alpha[k])
+			svIdx = append(svIdx, k)
+		} else {
+			alpha[k] = 0
 		}
 	}
-	m.NumSV = len(m.sv)
+
+	// Score every training row from its cached Gram column. Summing over
+	// SVs in ascending training order with q's symmetric entries
+	// reproduces Decision's fresh kernel evaluations bit-for-bit.
+	trainDec := make([]float64, l)
+	for k := 0; k < l; k++ {
+		var s float64
+		for _, i := range svIdx {
+			s += alpha[i] * q[i][k]
+		}
+		trainDec[k] = s - rho
+	}
+
+	return &Model{
+		kernel:     kernel,
+		alpha:      alpha,
+		rho:        rho,
+		trainDec:   trainDec,
+		Iters:      iters,
+		NumBoundSV: bound,
+	}, nil
+}
+
+// finish compacts alpha to the kept SVs and fills the SV count.
+func finish(m *Model) (*Model, error) {
+	kept := m.alpha[:0]
+	for _, a := range m.alpha {
+		if a > 0 {
+			kept = append(kept, a)
+		}
+	}
+	m.alpha = kept
+	m.NumSV = len(m.sv) + len(m.svSparse)
 	return m, nil
 }
 
@@ -199,11 +436,53 @@ func Train(samples [][]float64, cfg Config) (*Model, error) {
 // the boundary, negative outside, with magnitude growing with distance —
 // exactly the score the paper ranks by (Section V-C1).
 func (m *Model) Decision(x []float64) float64 {
+	if m.svSparse != nil {
+		return m.DecisionSparse(stats.DenseToSparse(x))
+	}
 	var s float64
 	for i, v := range m.sv {
 		s += m.alpha[i] * m.kernel.Eval(v, x)
 	}
 	return s - m.rho
+}
+
+// DecisionSparse is Decision for a sparse sample.
+func (m *Model) DecisionSparse(x stats.Sparse) float64 {
+	if m.svSparse == nil {
+		return m.Decision(x.Dense())
+	}
+	sk := m.kernel.(SparseKernel)
+	var s float64
+	for i, v := range m.svSparse {
+		s += m.alpha[i] * sk.EvalSparse(v, x)
+	}
+	return s - m.rho
+}
+
+// DecisionFromGram returns f(x) given the precomputed kernel column
+// kcol[i] = K(svᵢ, x) over the model's support vectors in order — the
+// batch-scoring path for callers that already hold kernel products (e.g. a
+// cached Gram matrix) and need no fresh evaluations.
+func (m *Model) DecisionFromGram(kcol []float64) float64 {
+	if len(kcol) != len(m.alpha) {
+		panic(fmt.Sprintf("svm: DecisionFromGram column has %d entries, want NumSV=%d", len(kcol), len(m.alpha)))
+	}
+	var s float64
+	for i, a := range m.alpha {
+		s += a * kcol[i]
+	}
+	return s - m.rho
+}
+
+// TrainingDecisions returns f(xₖ) for every training sample, in training
+// order. The values come from the Gram matrix already built during
+// training — no kernel re-evaluation — and equal Decision(xₖ) bit-for-bit
+// for symmetric kernels (every PSD kernel is). The slice is a copy;
+// callers may mutate it.
+func (m *Model) TrainingDecisions() []float64 {
+	out := make([]float64, len(m.trainDec))
+	copy(out, m.trainDec)
+	return out
 }
 
 // Rho returns the trained offset.

@@ -1,0 +1,196 @@
+package svm
+
+import (
+	"testing"
+
+	"sentomist/internal/randx"
+	"sentomist/internal/stats"
+)
+
+// sparseCluster generates n sparse points in dim dimensions: a shared set
+// of "hot" coordinates plus per-point noise coordinates, mimicking the
+// instruction-counter shape (few nonzeros out of many dimensions).
+func sparseCluster(rng *randx.RNG, n, dim int) []stats.Sparse {
+	out := make([]stats.Sparse, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for _, d := range []int{3, 7, 11} {
+			v[d] = 5 + rng.NormFloat64()
+		}
+		extra := int(rng.Uint64() % uint64(dim))
+		v[extra] += float64(rng.Uint64()%10) / 3
+		out[i] = stats.DenseToSparse(v)
+	}
+	return out
+}
+
+func densify(samples []stats.Sparse) [][]float64 {
+	out := make([][]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Dense()
+	}
+	return out
+}
+
+// TestTrainSparseMatchesTrain pins the sparse path's central claim: the
+// model trained on sparse samples equals the model trained on the
+// densified samples bit-for-bit, for every built-in kernel.
+func TestTrainSparseMatchesTrain(t *testing.T) {
+	rng := randx.New(42)
+	sparse := sparseCluster(rng, 60, 40)
+	dense := densify(sparse)
+	kernels := []Kernel{
+		nil, // default RBF
+		RBF{Gamma: 0.3},
+		Linear{},
+		Poly{Gamma: 0.5, Coef0: 1, Degree: 2},
+	}
+	for _, k := range kernels {
+		name := "default-rbf"
+		if k != nil {
+			name = k.String()
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{Nu: 0.1, Kernel: k}
+			md, err := Train(dense, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := TrainSparse(sparse, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if md.NumSV != ms.NumSV || md.Iters != ms.Iters || md.Rho() != ms.Rho() {
+				t.Fatalf("model mismatch: dense (sv=%d iters=%d rho=%v) vs sparse (sv=%d iters=%d rho=%v)",
+					md.NumSV, md.Iters, md.Rho(), ms.NumSV, ms.Iters, ms.Rho())
+			}
+			dd, ds := md.TrainingDecisions(), ms.TrainingDecisions()
+			for i := range dd {
+				if dd[i] != ds[i] {
+					t.Fatalf("training decision %d: dense %v != sparse %v", i, dd[i], ds[i])
+				}
+			}
+			// Out-of-sample decisions through both representations.
+			probe := sparseCluster(rng, 5, 40)
+			for _, p := range probe {
+				if got, want := ms.DecisionSparse(p), md.Decision(p.Dense()); got != want {
+					t.Fatalf("DecisionSparse %v != dense Decision %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTrainingDecisionsMatchDecision verifies Gram-reuse scoring: the
+// cached per-training-row decisions must equal fresh Decision evaluations
+// bit-for-bit.
+func TestTrainingDecisionsMatchDecision(t *testing.T) {
+	rng := randx.New(7)
+	samples := cluster(rng, 80, []float64{1, 2, 3}, 0.5)
+	m, err := Train(samples, Config{Nu: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := m.TrainingDecisions()
+	if len(dec) != len(samples) {
+		t.Fatalf("TrainingDecisions has %d entries, want %d", len(dec), len(samples))
+	}
+	for i, s := range samples {
+		if want := m.Decision(s); dec[i] != want {
+			t.Fatalf("training decision %d = %v, Decision = %v", i, dec[i], want)
+		}
+	}
+	// The returned slice is a copy: mutating it must not poison the cache.
+	dec[0] = 12345
+	if again := m.TrainingDecisions(); again[0] == 12345 {
+		t.Fatal("TrainingDecisions returned the internal slice, not a copy")
+	}
+}
+
+func TestDecisionFromGram(t *testing.T) {
+	rng := randx.New(9)
+	samples := cluster(rng, 40, []float64{0, 0}, 1)
+	m, err := Train(samples, Config{Nu: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.2}
+	kcol := make([]float64, 0, m.NumSV)
+	for _, sv := range m.sv {
+		kcol = append(kcol, m.kernel.Eval(sv, x))
+	}
+	if got, want := m.DecisionFromGram(kcol), m.Decision(x); got != want {
+		t.Fatalf("DecisionFromGram = %v, Decision = %v", got, want)
+	}
+}
+
+func TestDecisionFromGramBadColumnPanics(t *testing.T) {
+	rng := randx.New(10)
+	samples := cluster(rng, 20, []float64{0}, 1)
+	m, err := Train(samples, Config{Nu: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong-length column")
+		}
+	}()
+	m.DecisionFromGram(make([]float64, m.NumSV+1))
+}
+
+// TestParallelGramDeterministic trains the same batch at several
+// parallelism settings; every model must be identical, because Gram cells
+// are computed independently of scheduling.
+func TestParallelGramDeterministic(t *testing.T) {
+	rng := randx.New(3)
+	sparse := sparseCluster(rng, 70, 50)
+	dense := densify(sparse)
+	base, err := Train(dense, Config{Nu: 0.1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.TrainingDecisions()
+	for _, par := range []int{0, 2, 7, 16} {
+		for _, useSparse := range []bool{false, true} {
+			var m *Model
+			var err error
+			if useSparse {
+				m, err = TrainSparse(sparse, Config{Nu: 0.1, Parallelism: par})
+			} else {
+				m, err = Train(dense, Config{Nu: 0.1, Parallelism: par})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := m.TrainingDecisions()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("parallelism=%d sparse=%v: decision %d = %v, want %v",
+						par, useSparse, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSparseKernelMatchesDense(t *testing.T) {
+	rng := randx.New(11)
+	pts := sparseCluster(rng, 10, 30)
+	kernels := []SparseKernel{
+		RBF{Gamma: 0.4},
+		Linear{},
+		Poly{Gamma: 0.2, Coef0: 1, Degree: 3},
+	}
+	for _, k := range kernels {
+		for i := range pts {
+			for j := range pts {
+				ds := k.EvalSparse(pts[i], pts[j])
+				dd := k.Eval(pts[i].Dense(), pts[j].Dense())
+				if ds != dd {
+					t.Fatalf("%s: EvalSparse %v != Eval %v", k.String(), ds, dd)
+				}
+			}
+		}
+	}
+}
