@@ -16,10 +16,11 @@ race:
 vet:
 	$(GO) vet ./...
 
-# The engine benchmarks behind docs/PERFORMANCE.md.
+# The engine benchmarks behind docs/PERFORMANCE.md and docs/EMULATOR.md.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkMine|BenchmarkSVMTrain|BenchmarkCounterSparse' -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkMine|BenchmarkSVMTrain|BenchmarkCounterSparse|BenchmarkSimulateCaseI' -benchmem .
 	$(GO) test -run xxx -bench . -benchmem ./internal/svm/ ./internal/feature/
+	$(GO) test -run xxx -bench . -benchmem ./internal/mcu/ ./internal/sim/ ./internal/apps/
 
 # Every benchmark, including the paper-evaluation harness (slow).
 bench-all:

@@ -215,6 +215,44 @@ func BenchmarkNuSensitivity(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateCaseI measures the record phase alone: the five pooled
+// Case-I simulations (D = 20..100 ms, 10 s each) exactly as
+// experiments.CaseI launches them, with the mining pipeline excluded. The
+// batched/reference sub-benchmarks are the speedup measurement of the fast
+// emulation front-end (predecoded dispatch, block batching, loop folding,
+// event-horizon scheduling) against the single-step fixed-quantum engine;
+// both produce byte-identical traces (TestEngineDifferential).
+func BenchmarkSimulateCaseI(b *testing.B) {
+	simulate := func(b *testing.B, reference bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			errs := make([]error, len(experiments.CaseIPeriods))
+			var wg sync.WaitGroup
+			for j, d := range experiments.CaseIPeriods {
+				wg.Add(1)
+				go func(j, d int) {
+					defer wg.Done()
+					_, errs[j] = sentomist.RunCaseI(sentomist.CaseIConfig{
+						PeriodMS: d, Seconds: 10,
+						Seed:      experiments.CaseISeedBase + uint64(j),
+						Reference: reference,
+					})
+				}(j, d)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		simSeconds := 10.0 * float64(len(experiments.CaseIPeriods))
+		b.ReportMetric(simSeconds*float64(b.N)/b.Elapsed().Seconds(), "sim_s/host_s")
+	}
+	b.Run("batched", func(b *testing.B) { simulate(b, false) })
+	b.Run("reference", func(b *testing.B) { simulate(b, true) })
+}
+
 // BenchmarkSubstrate measures the simulator itself: simulated-vs-host time
 // for the heaviest scenario (nine nodes, 15 s of CSMA traffic).
 func BenchmarkSubstrate(b *testing.B) {

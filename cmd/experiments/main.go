@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -13,7 +14,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	flag.Parse()
+	stop, err := startProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	err = run()
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -27,7 +27,14 @@ func main() {
 		seconds = flag.Float64("seconds", 0.5, "simulated seconds per scenario")
 	)
 	flag.Parse()
-	if err := run(*runs, *seed, *nodes, *seconds); err != nil {
+	stop, err := startProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+	err = run(*runs, *seed, *nodes, *seconds)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
 		os.Exit(1)
 	}

@@ -101,6 +101,10 @@ type builder struct {
 	net   *medium.Network
 	nodes []*node.Node
 	run   *Run
+	// reference runs the scenario on the single-step reference engine
+	// (node SingleStep + sim reference scheduler) instead of the batched
+	// event-horizon engine; used by differential tests.
+	reference bool
 }
 
 func newBuilder(seed uint64) *builder {
@@ -142,6 +146,7 @@ func (b *builder) addNode(id int, prog *asm.Result, o nodeOpts) (*node.Node, err
 		RAMInit:    o.ramInit,
 		Truth:      true,
 		Sequential: o.sequential,
+		SingleStep: b.reference,
 	})
 	if err != nil {
 		return nil, err
@@ -186,6 +191,7 @@ func (b *builder) addNode(id int, prog *asm.Result, o nodeOpts) (*node.Node, err
 // the trace.
 func (b *builder) execute(seconds float64) (*Run, error) {
 	s := sim.New(b.seed, b.nodes, b.net)
+	s.SetReference(b.reference)
 	cycles := uint64(seconds * CyclesPerSecond)
 	if err := s.Run(cycles); err != nil {
 		return nil, err

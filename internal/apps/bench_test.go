@@ -1,0 +1,28 @@
+package apps
+
+// Engine benchmarks over the real Case-I workload: one full 10-second
+// oscilloscope simulation per iteration, on the batched event-horizon
+// engine and on the single-step reference engine. The sim_s/host_s metric
+// is the simulated-seconds-per-host-second figure of merit quoted in
+// docs/PERFORMANCE.md.
+
+import "testing"
+
+func benchOscilloscope(b *testing.B, reference bool) {
+	b.Helper()
+	const seconds = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOscilloscope(OscConfig{
+			PeriodMS: 20, Seconds: seconds, Seed: 100, Reference: reference,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(seconds*float64(b.N)/b.Elapsed().Seconds(), "sim_s/host_s")
+}
+
+func BenchmarkOscilloscopeRun(b *testing.B) {
+	b.Run("batched", func(b *testing.B) { benchOscilloscope(b, false) })
+	b.Run("reference", func(b *testing.B) { benchOscilloscope(b, true) })
+}

@@ -378,6 +378,9 @@ type CTPConfig struct {
 	Seed uint64
 	// Fixed selects the FAIL-handling variant.
 	Fixed bool
+	// Reference runs the whole scenario on the single-step reference
+	// engine, for differential testing against the batched engine.
+	Reference bool
 }
 
 // RunCTPHeartbeat executes one Case-III run: 9 nodes, two-level tree.
@@ -397,6 +400,7 @@ func RunCTPHeartbeat(cfg CTPConfig) (*Run, error) {
 	}
 
 	b := newBuilder(cfg.Seed)
+	b.reference = cfg.Reference
 	if _, err := b.addNode(CTPRootID, rootProg, nodeOpts{radio: true}); err != nil {
 		return nil, err
 	}

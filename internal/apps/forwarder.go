@@ -300,6 +300,9 @@ type ForwarderConfig struct {
 	// (lfsr & BurstMask) == 0. Zero selects the default of 0x1f
 	// (roughly 1 burst per 32 packets).
 	BurstMask uint8
+	// Reference runs the whole scenario on the single-step reference
+	// engine, for differential testing against the batched engine.
+	Reference bool
 }
 
 // RunForwarder executes one Case-II run.
@@ -322,6 +325,7 @@ func RunForwarder(cfg ForwarderConfig) (*Run, error) {
 	}
 
 	b := newBuilder(cfg.Seed)
+	b.reference = cfg.Reference
 	if _, err := b.addNode(FwdSinkID, sinkProg, nodeOpts{radio: true}); err != nil {
 		return nil, err
 	}

@@ -220,6 +220,9 @@ type OscConfig struct {
 	// semantics (no preemption): the paper's Section VI-E argues such a
 	// simulator cannot capture the interleavings that trigger this bug.
 	Sequential bool
+	// Reference runs the whole scenario on the single-step reference
+	// engine, for differential testing against the batched engine.
+	Reference bool
 }
 
 // RunOscilloscope executes one Case-I run and returns its trace.
@@ -238,6 +241,7 @@ func RunOscilloscope(cfg OscConfig) (*Run, error) {
 	}
 
 	b := newBuilder(cfg.Seed)
+	b.reference = cfg.Reference
 	if _, err := b.addNode(OscSinkID, sinkSrc, nodeOpts{radio: true}); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package lifecycle_test
 
 import (
+	"bytes"
 	"testing"
 
 	"sentomist/internal/asm"
@@ -82,7 +83,7 @@ tl_spin:
 // interval identification still matches the runtime's ground truth
 // everywhere.
 func TestExtractionMatchesTruthUnderRandomInterrupts(t *testing.T) {
-	for seed := uint64(0); seed < 8; seed++ {
+	for seed := uint64(0); seed < 12; seed++ {
 		r, err := asm.String(fuzzTargetSource)
 		if err != nil {
 			t.Fatal(err)
@@ -106,6 +107,49 @@ func TestExtractionMatchesTruthUnderRandomInterrupts(t *testing.T) {
 		}
 		if t.Failed() {
 			t.Fatalf("seed %d: ground-truth mismatches above", seed)
+		}
+	}
+}
+
+// fuzzTrace runs the fuzz target under the chosen engine and returns the
+// serialized trace.
+func fuzzTrace(t *testing.T, seed uint64, reference bool) []byte {
+	t.Helper()
+	r, err := asm.String(fuzzTargetSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := node.New(node.Config{
+		ID: 1, Program: r.Program, Truth: true, SingleStep: reference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Attach(dev.NewFuzzer(n, randx.New(seed), []int{1, 2, 3}, 40, 2500))
+	s := sim.New(seed, []*node.Node{n}, nil)
+	s.SetReference(reference)
+	if err := s.Run(500_000); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	var buf bytes.Buffer
+	if err := s.Trace().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEngineEquivalenceUnderRandomInterrupts widens the fuzz corpus into a
+// differential harness: the batched event-horizon engine and the
+// single-step reference engine must serialize byte-identical traces under
+// every random interrupt schedule — including the preempted spins that
+// exercise the block executor's loop folding.
+func TestEngineEquivalenceUnderRandomInterrupts(t *testing.T) {
+	for seed := uint64(0); seed < 16; seed++ {
+		fast := fuzzTrace(t, seed, false)
+		ref := fuzzTrace(t, seed, true)
+		if !bytes.Equal(fast, ref) {
+			t.Fatalf("seed %d: batched and reference traces differ (%d vs %d bytes)",
+				seed, len(fast), len(ref))
 		}
 	}
 }

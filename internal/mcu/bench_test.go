@@ -1,0 +1,95 @@
+package mcu
+
+// Interpreter benchmarks: raw dispatch throughput of the block executor vs
+// the single-step reference path, and the closed-form countdown-loop fold.
+// The mips metric (million instructions per host second) is the number
+// quoted in docs/PERFORMANCE.md.
+
+import (
+	"testing"
+
+	"sentomist/internal/isa"
+	"sentomist/internal/trace"
+)
+
+// benchProgram is a straight-line-heavy loop with no foldable pattern:
+// arithmetic, memory traffic, a compare, and a backward branch — the shape
+// of real handler/task code, measuring per-instruction dispatch cost.
+func benchProgram() *isa.Program {
+	p := &isa.Program{Code: []isa.Instr{
+		{Op: isa.LDI, A: 0, Imm: 0},     // 0
+		{Op: isa.ADDI, A: 0, Imm: 1},    // 1: loop body
+		{Op: isa.MOV, A: 1, B: 0},       // 2
+		{Op: isa.ANDI, A: 1, Imm: 0x3f}, // 3
+		{Op: isa.STS, B: 1, Imm: 16},    // 4
+		{Op: isa.LDS, A: 2, Imm: 16},    // 5
+		{Op: isa.ADD, A: 2, B: 0},       // 6
+		{Op: isa.CPI, A: 0, Imm: 0},     // 7
+		{Op: isa.BRNE, Imm: 1},          // 8: taken 255/256 times
+		{Op: isa.JMP, Imm: 1},           // 9
+	}}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// spinProgram is the foldable countdown busy-wait idiom.
+func spinProgram() *isa.Program {
+	p := &isa.Program{Code: []isa.Instr{
+		{Op: isa.LDI, A: 0, Imm: 0}, // 0: 256 iterations per refill
+		{Op: isa.DEC, A: 0},         // 1
+		{Op: isa.BRNE, Imm: 1},      // 2
+		{Op: isa.JMP, Imm: 0},       // 3
+	}}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func totalCount(rec *trace.Recorder) uint64 {
+	var n uint64
+	for _, c := range rec.Dense().Counts {
+		n += uint64(c)
+	}
+	return n
+}
+
+// BenchmarkRunBlock measures block-batched execution with a recorder
+// attached (the production configuration: dense in-place PC counting).
+func BenchmarkRunBlock(b *testing.B) {
+	for _, pr := range []struct {
+		name string
+		prog *isa.Program
+	}{{"dispatch", benchProgram()}, {"spin_folded", spinProgram()}} {
+		b.Run(pr.name, func(b *testing.B) {
+			rec := trace.NewRecorder(1, len(pr.prog.Code), false)
+			c := New(pr.prog, newFakeBus(), rec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := c.RunBlock(1 << 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(totalCount(rec))/1e6/b.Elapsed().Seconds(), "mips")
+		})
+	}
+}
+
+// BenchmarkStep measures the single-step reference path on the same
+// dispatch-heavy program.
+func BenchmarkStep(b *testing.B) {
+	prog := benchProgram()
+	rec := trace.NewRecorder(1, len(prog.Code), false)
+	c := New(prog, newFakeBus(), rec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/1e6/b.Elapsed().Seconds(), "mips")
+}

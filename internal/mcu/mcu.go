@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"sentomist/internal/isa"
+	"sentomist/internal/trace"
 )
 
 // Bus is the I/O port bus the CPU reads and writes with IN/OUT. Devices
@@ -20,6 +21,19 @@ import (
 type Bus interface {
 	In(port uint8) uint8
 	Out(port uint8, v uint8)
+}
+
+// Recorder receives the CPU's execution accounting: per-PC instruction
+// counts (the hook behind Definition 4's instruction counter) and
+// stack-pointer samples. The single-step path reports one PC at a time via
+// CountPC; the block executor batches whole straight-line runs through
+// CountPCs and flushes one minimum SP per block through ObserveSP, so the
+// recorder is called per block instead of per instruction.
+// *trace.Recorder implements it.
+type Recorder interface {
+	CountPC(pc uint16)
+	CountPCs(pcs []uint16)
+	ObserveSP(sp uint16)
 }
 
 // Event tells the caller that the last Step crossed an OS boundary.
@@ -85,25 +99,46 @@ type CPU struct {
 	// Halted is set by HALT; the CPU refuses to step further.
 	Halted bool
 
-	bus     Bus
-	countPC func(uint16)
+	bus Bus
+	rec Recorder
+
+	// code is the predecoded form of prog (see predecode.go): operands
+	// pre-masked, cycle counts pre-resolved, boundary opcodes pre-flagged.
+	// Step and RunBlock execute the same program; RunBlock runs it off
+	// this flat array.
+	code []dec
+
+	// dense, when the recorder exposes a dense per-PC counter sized to
+	// this program (DenseRecorder), lets RunBlock count executed PCs by
+	// direct in-place increment.
+	dense *trace.Dense
+
+	// pcbuf buffers executed PCs inside RunBlock until they are flushed
+	// to the recorder in one CountPCs call (non-dense recorders only).
+	pcbuf [256]uint16
+	npc   int
 
 	// PostedTask holds the task ID after a Step that returned EvPost.
 	PostedTask int
 }
 
-// New creates a CPU executing prog with the given I/O bus. countPC, if
-// non-nil, is invoked once per executed instruction with its address (the
-// hook behind Definition 4's instruction counter). The program must have
+// New creates a CPU executing prog with the given I/O bus. rec, if non-nil,
+// receives per-PC execution counts and SP samples. The program must have
 // been validated.
-func New(prog *isa.Program, bus Bus, countPC func(uint16)) *CPU {
+func New(prog *isa.Program, bus Bus, rec Recorder) *CPU {
 	c := &CPU{
-		prog:    prog,
-		RAM:     make([]byte, isa.RAMSize),
-		PC:      prog.Entry,
-		SP:      isa.RAMSize - 1,
-		bus:     bus,
-		countPC: countPC,
+		prog: prog,
+		RAM:  make([]byte, isa.RAMSize),
+		PC:   prog.Entry,
+		SP:   isa.RAMSize - 1,
+		bus:  bus,
+		rec:  rec,
+		code: predecode(prog),
+	}
+	if dr, ok := rec.(DenseRecorder); ok {
+		if d := dr.Dense(); len(d.Counts) == len(c.code) {
+			c.dense = d
+		}
 	}
 	return c
 }
@@ -145,8 +180,8 @@ func (c *CPU) Step() (int, Event, error) {
 	}
 	pc := c.PC
 	in := c.prog.Code[pc]
-	if c.countPC != nil {
-		c.countPC(pc)
+	if c.rec != nil {
+		c.rec.CountPC(pc)
 	}
 	c.PC++
 	cycles := int(in.Op.Spec().Cycles)

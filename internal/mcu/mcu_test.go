@@ -496,8 +496,8 @@ func TestCountPCHook(t *testing.T) {
 		{Op: isa.BRNE, Imm: 1}, // 2
 		{Op: isa.HALT},         // 3
 	}}
-	counts := make(map[uint16]int)
-	c := New(prog, newFakeBus(), func(pc uint16) { counts[pc]++ })
+	rec := &countRecorder{counts: make(map[uint16]int)}
+	c := New(prog, newFakeBus(), rec)
 	for {
 		_, ev, err := c.Step()
 		if err != nil {
@@ -509,8 +509,32 @@ func TestCountPCHook(t *testing.T) {
 	}
 	want := map[uint16]int{0: 1, 1: 2, 2: 2, 3: 1}
 	for pc, n := range want {
-		if counts[pc] != n {
-			t.Errorf("pc %d counted %d, want %d", pc, counts[pc], n)
+		if rec.counts[pc] != n {
+			t.Errorf("pc %d counted %d, want %d", pc, rec.counts[pc], n)
 		}
+	}
+}
+
+// countRecorder is a minimal Recorder for tests.
+type countRecorder struct {
+	counts map[uint16]int
+	minSP  uint16
+	order  []uint16
+}
+
+func (r *countRecorder) CountPC(pc uint16) {
+	r.counts[pc]++
+	r.order = append(r.order, pc)
+}
+
+func (r *countRecorder) CountPCs(pcs []uint16) {
+	for _, pc := range pcs {
+		r.CountPC(pc)
+	}
+}
+
+func (r *countRecorder) ObserveSP(sp uint16) {
+	if r.minSP == 0 || sp < r.minSP {
+		r.minSP = sp
 	}
 }

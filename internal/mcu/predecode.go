@@ -1,0 +1,555 @@
+package mcu
+
+import (
+	"fmt"
+
+	"sentomist/internal/isa"
+	"sentomist/internal/trace"
+)
+
+// Predecoded dispatch (Avrora-style): each isa.Program is decoded once into
+// a flat array of execution-ready instructions, so the hot loop never
+// re-reads isa.Spec, never re-masks operands, and never allocates a fault
+// closure. RunBlock then executes straight-line runs off this array until
+// the next OS boundary (I/O, interrupt-flag change, scheduler event), a
+// fault, or a caller-supplied cycle horizon — the basic-block batching that
+// lets the node runtime check devices and interrupts per block instead of
+// per instruction.
+
+// dec flag bits.
+const (
+	// dfStopBefore marks IN/OUT: the block stops *before* the
+	// instruction, because bus access needs the node clock to be exact
+	// (the node single-steps it after accounting the block's cycles).
+	dfStopBefore uint8 = 1 << iota
+	// dfStopAfter marks SEI/CLI: the instruction executes inside the
+	// block but ends it, because the I flag gates interrupt dispatch.
+	dfStopAfter
+	// dfFoldLoop marks a DEC whose successor is a BRNE back to it — the
+	// countdown busy-wait idiom. RunBlock advances the whole spin in
+	// closed form (see the fold in RunBlock); the result is bit-identical
+	// to stepping it, because nothing can observe the intermediate states
+	// of a block: devices raise only at block horizons and the loop body
+	// touches one register and the Z/N flags.
+	dfFoldLoop
+)
+
+// dec is one predecoded instruction: operands pre-masked to register range,
+// base cycle count pre-resolved, boundary behaviour pre-classified.
+type dec struct {
+	op     uint8 // isa.Op value
+	a, b   uint8 // register operands, masked to 0..15
+	cycles uint8
+	flags  uint8
+	imm    uint16
+}
+
+// DenseRecorder is optionally implemented by recorders — trace.Recorder in
+// particular — that expose their dense per-PC counter for in-place updates.
+// When available (and sized to the program), RunBlock counts executed PCs by
+// direct increment instead of buffering them for a batched call.
+type DenseRecorder interface {
+	Dense() *trace.Dense
+}
+
+// predecode builds the flat execution form of p. Control-flow targets are
+// not re-checked here: Program.Validate already guarantees JMP/branch/CALL
+// targets, vectors, and task entries lie inside the code, and addresses
+// that only materialize at run time (RET/RETI return addresses, the PC
+// after the last instruction) are bounds-checked by the executor exactly
+// like the single-step path.
+func predecode(p *isa.Program) []dec {
+	code := make([]dec, len(p.Code))
+	for i, in := range p.Code {
+		d := dec{
+			op:     uint8(in.Op),
+			a:      in.A & 0x0f,
+			b:      in.B & 0x0f,
+			cycles: in.Op.Spec().Cycles,
+			imm:    in.Imm,
+		}
+		switch in.Op {
+		case isa.IN, isa.OUT:
+			d.flags = dfStopBefore
+		case isa.SEI, isa.CLI:
+			d.flags = dfStopAfter
+		case isa.DEC:
+			if i+1 < len(p.Code) {
+				if nx := p.Code[i+1]; nx.Op == isa.BRNE && int(nx.Imm) == i {
+					d.flags = dfFoldLoop
+				}
+			}
+		}
+		code[i] = d
+	}
+	return code
+}
+
+// flushPCs hands the buffered block PCs to the recorder in execution order,
+// preserving the first-touch ordering of the recorder's sparse deltas. Only
+// the non-dense recorder path buffers PCs.
+func (c *CPU) flushPCs() {
+	if c.npc > 0 && c.rec != nil {
+		c.rec.CountPCs(c.pcbuf[:c.npc])
+	}
+	c.npc = 0
+}
+
+// addv is the ADD/ADC value+carry computation, shared with nothing else so
+// it stays inlineable in the block executor's switch.
+func addv(a, b uint8, carry bool) (uint8, bool) {
+	s := uint16(a) + uint16(b)
+	if carry {
+		s++
+	}
+	return uint8(s), s > 0xff
+}
+
+// subv is the SUB/SBC/CP value+borrow computation.
+func subv(a, b uint8, borrow bool) (uint8, bool) {
+	d := uint16(a) - uint16(b)
+	if borrow {
+		d--
+	}
+	return uint8(d), d > 0xff
+}
+
+// RunBlock executes predecoded instructions until one of:
+//
+//   - the cycle budget is spent (the instruction crossing the budget
+//     completes, matching the single-step loop's horizon semantics);
+//   - an instruction produces an OS event (returned in ev);
+//   - SEI/CLI executes (the caller must re-check interrupt dispatch);
+//   - an IN/OUT is reached — the block stops *before* it and reports
+//     ioPending=true so the caller can single-step it with an exact clock;
+//   - a fault (err non-nil; cycles excludes the faulting instruction,
+//     mirroring Step's zero-cycle fault return).
+//
+// The hot machine state — PC, SP, the Z/N/C flags — lives in locals for the
+// whole block and is written back exactly once on exit, and per-PC counts go
+// straight into the recorder's dense counter, so the per-instruction cost is
+// fetch, dispatch, execute, and one counter increment. Semantics are
+// instruction-for-instruction identical to calling Step in a loop.
+func (c *CPU) RunBlock(budget uint64) (uint64, Event, bool, error) {
+	if c.Halted {
+		return 0, EvNone, false, &Fault{PC: c.PC, Detail: "step on halted CPU"}
+	}
+	code := c.code
+	ram := c.RAM
+	regs := &c.Regs
+	pc := c.PC
+	sp := c.SP
+	z, nf, cf := c.Z, c.N, c.C
+
+	dense := c.dense
+	var counts []uint32
+	var touched []uint16
+	if dense != nil {
+		counts = dense.Counts
+		touched = dense.Touched
+	}
+
+	var (
+		cycles    uint64
+		minSP     = uint16(0xffff)
+		observed  bool
+		ioPending bool
+		retEv     Event
+		flt       *Fault
+	)
+
+loop:
+	for cycles < budget {
+		if int(pc) >= len(code) {
+			flt = &Fault{PC: pc, Detail: "PC outside code"}
+			break
+		}
+		d := code[pc]
+		if d.flags != 0 {
+			if d.flags&dfStopBefore != 0 {
+				// Stop before IN/OUT: interrupt dispatchability cannot
+				// have changed mid-block (SEI/CLI/RETI end blocks, device
+				// raises happen at horizons), so the caller may step it
+				// directly.
+				ioPending = true
+				break
+			}
+			if d.flags&dfFoldLoop != 0 && dense != nil {
+				// Countdown spin `DEC r; BRNE back`: execute k full
+				// (dec + taken-brne) iterations in closed form. Pair j
+				// starts at cycles + j*P; the brne of pair j fetches at
+				// cycles + j*P + dc and, like any instruction fetched
+				// below budget, runs to completion — so k is capped by
+				// the last j with cycles + j*P + dc < budget, and by
+				// r-1 so every folded brne is taken. The loop then
+				// resumes per-instruction for the tail, which also
+				// handles r <= 1 and the wrap at zero.
+				if r := regs[d.a]; r > 1 {
+					dc := uint64(d.cycles)
+					if D := budget - cycles; D > dc {
+						bn := code[pc+1]
+						P := dc + uint64(bn.cycles) + 1 // +1: taken branch
+						k := (D-dc-1)/P + 1
+						if k > uint64(r-1) {
+							k = uint64(r - 1)
+						}
+						if counts[pc] == 0 {
+							touched = append(touched, pc)
+						}
+						counts[pc] += uint32(k)
+						if counts[pc+1] == 0 {
+							touched = append(touched, pc+1)
+						}
+						counts[pc+1] += uint32(k)
+						v := r - uint8(k)
+						regs[d.a] = v
+						z, nf = false, v&0x80 != 0
+						cycles += k * P
+						if sp < minSP {
+							minSP = sp
+						}
+						observed = true
+						continue
+					}
+				}
+			}
+		}
+		if dense != nil {
+			if counts[pc] == 0 {
+				touched = append(touched, pc)
+			}
+			counts[pc]++
+		} else if c.rec != nil {
+			c.pcbuf[c.npc] = pc
+			c.npc++
+			if c.npc == len(c.pcbuf) {
+				c.flushPCs()
+			}
+		}
+		next := pc + 1
+		cy := uint64(d.cycles)
+		op := isa.Op(d.op)
+
+		switch op {
+		case isa.NOP:
+		case isa.MOV:
+			regs[d.a] = regs[d.b]
+		case isa.LDI:
+			regs[d.a] = uint8(d.imm)
+		case isa.LDS:
+			if int(d.imm) >= len(ram) {
+				flt = &Fault{PC: pc, Op: op, Detail: loadFaultDetail(d.imm, len(ram))}
+				pc = next
+				break loop
+			}
+			regs[d.a] = ram[d.imm]
+		case isa.STS:
+			if int(d.imm) >= len(ram) {
+				flt = &Fault{PC: pc, Op: op, Detail: storeFaultDetail(d.imm, len(ram))}
+				pc = next
+				break loop
+			}
+			ram[d.imm] = regs[d.b]
+		case isa.LDX:
+			addr := d.imm + uint16(regs[d.b])
+			if int(addr) >= len(ram) {
+				flt = &Fault{PC: pc, Op: op, Detail: loadFaultDetail(addr, len(ram))}
+				pc = next
+				break loop
+			}
+			regs[d.a] = ram[addr]
+		case isa.STX:
+			addr := d.imm + uint16(regs[d.a])
+			if int(addr) >= len(ram) {
+				flt = &Fault{PC: pc, Op: op, Detail: storeFaultDetail(addr, len(ram))}
+				pc = next
+				break loop
+			}
+			ram[addr] = regs[d.b]
+		case isa.ADD:
+			v, cc := addv(regs[d.a], regs[d.b], false)
+			regs[d.a] = v
+			cf, z, nf = cc, v == 0, v&0x80 != 0
+		case isa.ADC:
+			v, cc := addv(regs[d.a], regs[d.b], cf)
+			regs[d.a] = v
+			cf, z, nf = cc, v == 0, v&0x80 != 0
+		case isa.SUB:
+			v, cc := subv(regs[d.a], regs[d.b], false)
+			regs[d.a] = v
+			cf, z, nf = cc, v == 0, v&0x80 != 0
+		case isa.SBC:
+			v, cc := subv(regs[d.a], regs[d.b], cf)
+			regs[d.a] = v
+			cf, z, nf = cc, v == 0, v&0x80 != 0
+		case isa.AND:
+			v := regs[d.a] & regs[d.b]
+			regs[d.a] = v
+			cf, z, nf = false, v == 0, v&0x80 != 0
+		case isa.OR:
+			v := regs[d.a] | regs[d.b]
+			regs[d.a] = v
+			cf, z, nf = false, v == 0, v&0x80 != 0
+		case isa.XOR:
+			v := regs[d.a] ^ regs[d.b]
+			regs[d.a] = v
+			cf, z, nf = false, v == 0, v&0x80 != 0
+		case isa.ADDI:
+			v, cc := addv(regs[d.a], uint8(d.imm), false)
+			regs[d.a] = v
+			cf, z, nf = cc, v == 0, v&0x80 != 0
+		case isa.SUBI:
+			v, cc := subv(regs[d.a], uint8(d.imm), false)
+			regs[d.a] = v
+			cf, z, nf = cc, v == 0, v&0x80 != 0
+		case isa.ANDI:
+			v := regs[d.a] & uint8(d.imm)
+			regs[d.a] = v
+			cf, z, nf = false, v == 0, v&0x80 != 0
+		case isa.ORI:
+			v := regs[d.a] | uint8(d.imm)
+			regs[d.a] = v
+			cf, z, nf = false, v == 0, v&0x80 != 0
+		case isa.XORI:
+			v := regs[d.a] ^ uint8(d.imm)
+			regs[d.a] = v
+			cf, z, nf = false, v == 0, v&0x80 != 0
+		case isa.CP:
+			v, cc := subv(regs[d.a], regs[d.b], false)
+			cf, z, nf = cc, v == 0, v&0x80 != 0
+		case isa.CPI:
+			v, cc := subv(regs[d.a], uint8(d.imm), false)
+			cf, z, nf = cc, v == 0, v&0x80 != 0
+		case isa.INC:
+			v := regs[d.a] + 1
+			regs[d.a] = v
+			z, nf = v == 0, v&0x80 != 0
+		case isa.DEC:
+			v := regs[d.a] - 1
+			regs[d.a] = v
+			z, nf = v == 0, v&0x80 != 0
+		case isa.SHL:
+			v := regs[d.a]
+			cf = v&0x80 != 0
+			v <<= 1
+			regs[d.a] = v
+			z, nf = v == 0, v&0x80 != 0
+		case isa.SHR:
+			v := regs[d.a]
+			cf = v&0x01 != 0
+			v >>= 1
+			regs[d.a] = v
+			z, nf = v == 0, v&0x80 != 0
+		case isa.JMP:
+			next = d.imm
+		case isa.BREQ:
+			if z {
+				next = d.imm
+				cy++ // taken-branch penalty
+			}
+		case isa.BRNE:
+			if !z {
+				next = d.imm
+				cy++
+			}
+		case isa.BRCS:
+			if cf {
+				next = d.imm
+				cy++
+			}
+		case isa.BRCC:
+			if !cf {
+				next = d.imm
+				cy++
+			}
+		case isa.BRLT:
+			if nf {
+				next = d.imm
+				cy++
+			}
+		case isa.BRGE:
+			if !nf {
+				next = d.imm
+				cy++
+			}
+		case isa.CALL:
+			// Inline push16(next): high byte then low byte; a partial push
+			// persists, exactly like the single-step path.
+			if sp == 0 {
+				flt = &Fault{PC: pc, Op: op, Detail: "stack overflow (SP=0)"}
+				pc = next
+				break loop
+			}
+			ram[sp] = uint8(next >> 8)
+			sp--
+			if sp == 0 {
+				flt = &Fault{PC: pc, Op: op, Detail: "stack overflow (SP=0)"}
+				pc = next
+				break loop
+			}
+			ram[sp] = uint8(next)
+			sp--
+			next = d.imm
+		case isa.RET:
+			// Inline pop16: low byte then high byte.
+			if int(sp)+1 >= len(ram) {
+				flt = &Fault{PC: pc, Op: op, Detail: underflowDetail(sp)}
+				pc = next
+				break loop
+			}
+			sp++
+			lo := ram[sp]
+			if int(sp)+1 >= len(ram) {
+				flt = &Fault{PC: pc, Op: op, Detail: underflowDetail(sp)}
+				pc = next
+				break loop
+			}
+			sp++
+			addr := uint16(ram[sp])<<8 | uint16(lo)
+			if addr == TaskSentinel {
+				cycles += cy
+				if sp < minSP {
+					minSP = sp
+				}
+				observed = true
+				pc = next
+				retEv = EvTaskRet
+				break loop
+			}
+			next = addr
+		case isa.RETI:
+			if int(sp)+1 >= len(ram) {
+				flt = &Fault{PC: pc, Op: op, Detail: underflowDetail(sp)}
+				pc = next
+				break loop
+			}
+			sp++
+			lo := ram[sp]
+			if int(sp)+1 >= len(ram) {
+				flt = &Fault{PC: pc, Op: op, Detail: underflowDetail(sp)}
+				pc = next
+				break loop
+			}
+			sp++
+			addr := uint16(ram[sp])<<8 | uint16(lo)
+			if c.IntDepth == 0 {
+				flt = &Fault{PC: pc, Op: op, Detail: "RETI outside interrupt handler"}
+				pc = next
+				break loop
+			}
+			c.I = true
+			c.IntDepth--
+			cycles += cy
+			if sp < minSP {
+				minSP = sp
+			}
+			observed = true
+			pc = addr
+			retEv = EvIntRet
+			break loop
+		case isa.PUSH:
+			if sp == 0 {
+				flt = &Fault{PC: pc, Op: op, Detail: "stack overflow (SP=0)"}
+				pc = next
+				break loop
+			}
+			ram[sp] = regs[d.b]
+			sp--
+		case isa.POP:
+			if int(sp)+1 >= len(ram) {
+				flt = &Fault{PC: pc, Op: op, Detail: underflowDetail(sp)}
+				pc = next
+				break loop
+			}
+			sp++
+			regs[d.a] = ram[sp]
+		case isa.SEI:
+			c.I = true
+		case isa.CLI:
+			c.I = false
+		case isa.SLEEP:
+			cycles += cy
+			if sp < minSP {
+				minSP = sp
+			}
+			observed = true
+			pc = next
+			retEv = EvSleep
+			break loop
+		case isa.POST:
+			c.PostedTask = int(d.imm)
+			cycles += cy
+			if sp < minSP {
+				minSP = sp
+			}
+			observed = true
+			pc = next
+			retEv = EvPost
+			break loop
+		case isa.OSRUN:
+			cycles += cy
+			if sp < minSP {
+				minSP = sp
+			}
+			observed = true
+			pc = next
+			retEv = EvOSRun
+			break loop
+		case isa.HALT:
+			c.Halted = true
+			cycles += cy
+			if sp < minSP {
+				minSP = sp
+			}
+			observed = true
+			pc = next
+			retEv = EvHalt
+			break loop
+		default:
+			flt = &Fault{PC: pc, Op: op, Detail: "unimplemented opcode"}
+			pc = next
+			break loop
+		}
+
+		pc = next
+		cycles += cy
+		if sp < minSP {
+			minSP = sp
+		}
+		observed = true
+		if d.flags&dfStopAfter != 0 {
+			break
+		}
+	}
+
+	// Single write-back of the block's machine state and accounting.
+	c.PC, c.SP = pc, sp
+	c.Z, c.N, c.C = z, nf, cf
+	if dense != nil {
+		dense.Touched = touched
+	} else {
+		c.flushPCs()
+	}
+	if observed && c.rec != nil {
+		c.rec.ObserveSP(minSP)
+	}
+	if flt != nil {
+		return cycles, EvNone, false, flt
+	}
+	return cycles, retEv, ioPending, nil
+}
+
+// loadFaultDetail matches the single-step load fault message.
+func loadFaultDetail(addr uint16, ramLen int) string {
+	return fmt.Sprintf("load from %#04x outside %d-byte RAM", addr, ramLen)
+}
+
+// storeFaultDetail matches the single-step store fault message.
+func storeFaultDetail(addr uint16, ramLen int) string {
+	return fmt.Sprintf("store to %#04x outside %d-byte RAM", addr, ramLen)
+}
+
+// underflowDetail matches the single-step pop fault message.
+func underflowDetail(sp uint16) string {
+	return fmt.Sprintf("stack underflow (SP=%#04x)", sp)
+}

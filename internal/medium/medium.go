@@ -298,11 +298,18 @@ func (n *Network) air(now uint64, f frame) *transmission {
 }
 
 // collided reports whether another audible transmission overlapped tx at
-// receiver id.
+// receiver id. The check runs when tx's delivery event fires (at tx.end), so
+// visibility must be a pure function of time, not of how often Advance was
+// called: a finished transmission stops counting once its collision window
+// (one extra airtime past its end) has expired. pruneAir merely reclaims
+// memory for entries that are already invisible under this rule.
 func (n *Network) collided(tx *transmission, id int) bool {
 	for _, other := range n.onAir {
 		if other == tx || other.f.src == tx.f.src || other.f.src == id {
 			continue
+		}
+		if other.end+(other.end-other.start) < tx.end {
+			continue // collision window expired before the check time
 		}
 		if _, audible := n.linkLoss(other.f.src, id); !audible {
 			continue

@@ -55,6 +55,8 @@ type Node struct {
 
 	queue      []taskEntry
 	sequential bool
+	singleStep bool
+	onRaise    func()
 
 	instanceSeq   int
 	handlerStack  []int
@@ -84,6 +86,12 @@ type Config struct {
 	// interleaving executions of event procedures" — the mode exists to
 	// demonstrate exactly that (experiment A5).
 	Sequential bool
+	// SingleStep selects the reference execution engine: one mcu.Step per
+	// loop iteration with device and dispatch checks before every
+	// instruction. It is the semantic baseline the batched block engine
+	// is differentially tested against, and is slower by an order of
+	// magnitude; leave it off outside equivalence harnesses.
+	SingleStep bool
 }
 
 // New creates a node. The program must validate.
@@ -97,9 +105,10 @@ func New(cfg Config) (*Node, error) {
 		devices:    cfg.Devices,
 		ph:         phaseBoot,
 		sequential: cfg.Sequential,
+		singleStep: cfg.SingleStep,
 		rec:        trace.NewRecorder(cfg.ID, len(cfg.Program.Code), cfg.Truth),
 	}
-	n.cpu = mcu.New(cfg.Program, (*bus)(n), n.rec.CountPC)
+	n.cpu = mcu.New(cfg.Program, (*bus)(n), n.rec)
 	for addr, v := range cfg.RAMInit {
 		if int(addr) >= len(n.cpu.RAM) {
 			return nil, fmt.Errorf("node %d: RAMInit address %#04x outside RAM", cfg.ID, addr)
@@ -118,8 +127,21 @@ func (n *Node) Raise(irq int) {
 	if irq < 0 || irq > 63 {
 		panic(fmt.Sprintf("node: irq %d out of range", irq))
 	}
+	// The hook runs before the latch on purpose: the scheduler's catch-up
+	// advance of a skipped node must be a pure fast-forward — were the
+	// IRQ already latched, the catch-up would dispatch it at the node's
+	// stale clock instead of the round boundary.
+	if n.onRaise != nil {
+		n.onRaise()
+	}
 	n.pending |= 1 << uint(irq)
 }
+
+// SetRaiseHook installs a callback invoked on every Raise, before the IRQ
+// latches. The event-horizon scheduler uses it to learn that a skipped
+// (dormant) node just received a network interrupt and must be brought back
+// into lockstep.
+func (n *Node) SetRaiseHook(fn func()) { n.onRaise = fn }
 
 // Clock returns the node's current cycle time (== the global clock).
 func (n *Node) Clock() uint64 { return n.clock }
@@ -215,38 +237,115 @@ func (n *Node) fail(err error) {
 	}
 }
 
+// JumpStatus reports how AdvanceJump ended.
+type JumpStatus uint8
+
+// AdvanceJump outcomes.
+const (
+	// JumpReached: the node ran (or fast-forwarded) through its returned
+	// lockstep boundary; the scheduler resumes from there.
+	JumpReached JumpStatus = iota + 1
+	// JumpIdle: the node went idle past a lockstep boundary with its next
+	// device event beyond it; the scheduler must decide at that boundary
+	// whether other nodes make it a lockstep round or a global idle jump.
+	JumpIdle
+	// JumpDead: the node halted or faulted; the returned boundary is the
+	// round the reference scheduler would have finished on.
+	JumpDead
+)
+
 // Advance runs the node until the clock reaches target. Device events due
 // along the way fire; the CPU executes while it has work; idle gaps are
-// fast-forwarded to the next device event.
+// fast-forwarded to the next device event. The default engine executes
+// basic blocks between device-event horizons; Config.SingleStep selects the
+// instruction-at-a-time reference engine with identical semantics.
 func (n *Node) Advance(target uint64) {
+	if n.singleStep {
+		n.advanceReference(target)
+		return
+	}
+	n.advanceBatched(target, 0, 0, nil)
+}
+
+// AdvanceJump runs the node alone toward target on the batched engine,
+// under the scheduler's lockstep grid (boundaries at anchor + k*quantum,
+// clamped to target). It is the single-runnable-node fast path: the caller
+// guarantees no other node or network event needs servicing before target.
+// The node stops early — at the exact boundary the reference lockstep
+// scheduler would have realized — when it goes idle beyond a boundary
+// (JumpIdle), when it halts or faults (JumpDead), or, after an I/O
+// instruction makes netDirty() report pending network events, at the end of
+// that instruction's round (JumpReached). The returned cycle is the
+// boundary the global clock must resume from.
+func (n *Node) AdvanceJump(target, anchor, quantum uint64, netDirty func() bool) (uint64, JumpStatus) {
+	if quantum == 0 {
+		quantum = 1
+	}
+	return n.advanceBatched(target, anchor, quantum, netDirty)
+}
+
+// dispatchIRQ performs Rule-1 interrupt dispatch: the lowest-numbered
+// pending interrupt preempts boot code or a task (Rule 2). It returns false
+// when the node failed.
+func (n *Node) dispatchIRQ() bool {
+	irq := n.lowestPending()
+	vector, ok := n.prog.Vectors[irq]
+	if !ok {
+		n.fail(fmt.Errorf("interrupt %d has no vector", irq))
+		return false
+	}
+	n.pending &^= 1 << uint(irq)
+	n.sleeping = false
+	cycles, err := n.cpu.Interrupt(vector)
+	if err != nil {
+		n.fail(err)
+		return false
+	}
+	n.clock += uint64(cycles)
+	n.rec.ObserveSP(n.cpu.SP)
+	n.instanceSeq++
+	inst := n.instanceSeq
+	n.handlerStack = append(n.handlerStack, inst)
+	n.rec.Mark(trace.Int, irq, n.clock, inst)
+	return true
+}
+
+// startTask pops the task queue and enters the task body (Rule 3). It
+// returns false when the node failed.
+func (n *Node) startTask() bool {
+	te := n.queue[0]
+	n.queue = n.queue[1:]
+	entry, ok := n.prog.Tasks[te.id]
+	if !ok {
+		n.fail(fmt.Errorf("posted task %d has no entry", te.id))
+		return false
+	}
+	cycles, err := n.cpu.EnterTask(entry)
+	if err != nil {
+		n.fail(err)
+		return false
+	}
+	n.clock += uint64(cycles)
+	n.ph = phaseTask
+	n.taskInstance = te.instance
+	n.runningTaskID = te.id
+	n.rec.Mark(trace.RunTask, te.id, n.clock, te.instance)
+	return true
+}
+
+// advanceReference is the single-step engine: device and dispatch checks
+// before every instruction. It is the executable specification of node
+// semantics; advanceBatched must be observationally identical to it.
+func (n *Node) advanceReference(target uint64) {
 	for n.clock < target && !n.Halted() {
 		for _, d := range n.devices {
 			d.Advance(n.clock)
 		}
 
-		// Rule 1: dispatch the highest-priority pending interrupt as
-		// soon as the I flag allows, preempting boot code or a task
-		// (Rule 2).
 		if n.dispatchable() {
-			irq := n.lowestPending()
-			vector, ok := n.prog.Vectors[irq]
-			if !ok {
-				n.fail(fmt.Errorf("interrupt %d has no vector", irq))
+			if !n.dispatchIRQ() {
 				return
 			}
-			n.pending &^= 1 << uint(irq)
-			n.sleeping = false
-			cycles, err := n.cpu.Interrupt(vector)
-			if err != nil {
-				n.fail(err)
-				return
-			}
-			n.clock += uint64(cycles)
-			n.rec.ObserveSP(n.cpu.SP)
-			n.instanceSeq++
-			inst := n.instanceSeq
-			n.handlerStack = append(n.handlerStack, inst)
-			n.rec.Mark(trace.Int, irq, n.clock, inst)
 			continue
 		}
 
@@ -257,26 +356,10 @@ func (n *Node) Advance(target uint64) {
 			continue
 		}
 
-		// Scheduler: run the next queued task only when no handler is
-		// active (Rule 3).
 		if n.ph == phaseIdle && n.cpu.IntDepth == 0 && len(n.queue) > 0 {
-			te := n.queue[0]
-			n.queue = n.queue[1:]
-			entry, ok := n.prog.Tasks[te.id]
-			if !ok {
-				n.fail(fmt.Errorf("posted task %d has no entry", te.id))
+			if !n.startTask() {
 				return
 			}
-			cycles, err := n.cpu.EnterTask(entry)
-			if err != nil {
-				n.fail(err)
-				return
-			}
-			n.clock += uint64(cycles)
-			n.ph = phaseTask
-			n.taskInstance = te.instance
-			n.runningTaskID = te.id
-			n.rec.Mark(trace.RunTask, te.id, n.clock, te.instance)
 			continue
 		}
 
@@ -297,6 +380,143 @@ func (n *Node) Advance(target uint64) {
 	}
 }
 
+// advanceBatched is the block engine behind Advance and AdvanceJump.
+//
+// Equivalence to advanceReference rests on one invariant: nothing the
+// per-instruction checks observe can change mid-block. Device raises happen
+// only when devices advance (at block horizons == the next device event),
+// network raises only between node advances, and the I flag and scheduler
+// phase only at instructions that end blocks (SEI/CLI, RETI, OS events).
+// The block horizon is min(target, next device event), and the instruction
+// crossing it completes, exactly like the reference loop's clock check.
+//
+// When quantum is nonzero (jump mode), the node additionally respects the
+// scheduler's lockstep grid as described on AdvanceJump.
+func (n *Node) advanceBatched(target, anchor, quantum uint64, netDirty func() bool) (uint64, JumpStatus) {
+	jump := quantum != 0
+	limit := target
+	dirty := false
+
+	// deadAt is the lockstep round the reference scheduler would have
+	// completed, given the clock at which the fatal instruction started.
+	deadAt := func(preClock uint64) uint64 {
+		if !jump {
+			return n.clock
+		}
+		b := anchor + quantum*((preClock-anchor)/quantum+1)
+		if b > limit {
+			b = limit
+		}
+		return b
+	}
+
+	for n.clock < limit && !n.Halted() {
+		for _, d := range n.devices {
+			d.Advance(n.clock)
+		}
+
+		if n.dispatchable() {
+			if !n.dispatchIRQ() {
+				return deadAt(n.clock), JumpDead
+			}
+			continue
+		}
+
+		if n.executing() {
+			horizon := limit
+			if at, ok := n.NextDeviceEvent(); ok && at < horizon {
+				horizon = at
+			}
+			if horizon <= n.clock {
+				// Devices due at or before the clock already fired
+				// above; defensive single-cycle budget.
+				horizon = n.clock + 1
+			}
+			cycles, ev, io, err := n.cpu.RunBlock(horizon - n.clock)
+			n.clock += cycles
+			if err != nil {
+				n.fail(err)
+				return deadAt(n.clock), JumpDead
+			}
+			if ev != mcu.EvNone {
+				if !n.applyEvent(ev) {
+					if ev == mcu.EvHalt {
+						// The HALT started one instruction-cost earlier.
+						return deadAt(n.clock - uint64(isa.HALT.Spec().Cycles)), JumpDead
+					}
+					return deadAt(n.clock), JumpDead
+				}
+				continue
+			}
+			if io {
+				// Single-step the I/O instruction so the bus sees an
+				// exact clock (device timestamps depend on it).
+				ioClock := n.clock
+				if !n.step() {
+					return deadAt(ioClock), JumpDead
+				}
+				if jump && !dirty && netDirty != nil && netDirty() {
+					// The radio (or a pre-existing queue entry) has a
+					// pending network event: finish the reference round
+					// this instruction ran in, then hand control back.
+					dirty = true
+					if b := anchor + quantum*((ioClock-anchor)/quantum+1); b < limit {
+						limit = b
+					}
+				}
+			}
+			continue
+		}
+
+		if n.ph == phaseIdle && n.cpu.IntDepth == 0 && len(n.queue) > 0 {
+			if !n.startTask() {
+				return deadAt(n.clock), JumpDead
+			}
+			continue
+		}
+
+		// Idle: fast-forward to the next device event or the limit.
+		next := limit
+		if at, ok := n.NextDeviceEvent(); ok && at < next {
+			next = at
+		}
+		if next <= n.clock {
+			next = n.clock + 1
+		}
+		if jump && !dirty {
+			// Sleeping across a lockstep boundary: yield there so the
+			// scheduler can decide whether another node wakes first.
+			gb := anchor + quantum*((n.clock-anchor+quantum-1)/quantum)
+			if gb > limit {
+				gb = limit
+			}
+			if next > gb {
+				n.clock = gb
+				if gb < limit {
+					for _, d := range n.devices {
+						d.Advance(n.clock)
+					}
+					return gb, JumpIdle
+				}
+				continue
+			}
+		}
+		n.clock = next
+	}
+	if n.clock >= limit {
+		for _, d := range n.devices {
+			d.Advance(n.clock)
+		}
+	}
+	if jump {
+		if n.Halted() && n.clock < limit {
+			return deadAt(n.clock), JumpDead
+		}
+		return limit, JumpReached
+	}
+	return n.clock, JumpReached
+}
+
 // executing reports whether the CPU itself has an active control flow.
 func (n *Node) executing() bool {
 	if n.sleeping {
@@ -315,6 +535,13 @@ func (n *Node) step() bool {
 	}
 	n.clock += uint64(cycles)
 	n.rec.ObserveSP(n.cpu.SP)
+	return n.applyEvent(ev)
+}
+
+// applyEvent applies an OS event reported by the CPU (single-step or block
+// engine) at the current clock. It returns false when the node can no
+// longer run.
+func (n *Node) applyEvent(ev mcu.Event) bool {
 	switch ev {
 	case mcu.EvNone:
 	case mcu.EvPost:

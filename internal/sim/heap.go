@@ -1,0 +1,107 @@
+package sim
+
+// wakeHeap is an indexed binary min-heap over node indices, keyed by the
+// scheduler's wake-time cache (shared slice; the heap does not own it). It
+// holds exactly the dormant nodes with a pending device event, so the
+// scheduler reads the earliest wake in O(1) and maintains membership in
+// O(log n) as nodes flip between runnable and dormant.
+type wakeHeap struct {
+	key   []uint64 // shared with Sim.wake
+	items []int    // heap of node indices
+	pos   []int    // node index -> position in items, -1 if absent
+}
+
+func newWakeHeap(n int, key []uint64) *wakeHeap {
+	h := &wakeHeap{key: key, pos: make([]int, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// min returns the node index with the earliest wake time.
+func (h *wakeHeap) min() (int, bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	return h.items[0], true
+}
+
+// update inserts node i or re-establishes heap order after its key changed.
+func (h *wakeHeap) update(i int) {
+	p := h.pos[i]
+	if p == -1 {
+		h.items = append(h.items, i)
+		p = len(h.items) - 1
+		h.pos[i] = p
+		h.siftUp(p)
+		return
+	}
+	if !h.siftUp(p) {
+		h.siftDown(p)
+	}
+}
+
+// remove deletes node i from the heap if present.
+func (h *wakeHeap) remove(i int) {
+	p := h.pos[i]
+	if p == -1 {
+		return
+	}
+	last := len(h.items) - 1
+	h.swap(p, last)
+	h.items = h.items[:last]
+	h.pos[i] = -1
+	if p < last {
+		if !h.siftUp(p) {
+			h.siftDown(p)
+		}
+	}
+}
+
+func (h *wakeHeap) less(p, q int) bool {
+	a, b := h.items[p], h.items[q]
+	if h.key[a] != h.key[b] {
+		return h.key[a] < h.key[b]
+	}
+	return a < b // deterministic tie-break by node index
+}
+
+func (h *wakeHeap) swap(p, q int) {
+	h.items[p], h.items[q] = h.items[q], h.items[p]
+	h.pos[h.items[p]] = p
+	h.pos[h.items[q]] = q
+}
+
+func (h *wakeHeap) siftUp(p int) bool {
+	moved := false
+	for p > 0 {
+		parent := (p - 1) / 2
+		if !h.less(p, parent) {
+			break
+		}
+		h.swap(p, parent)
+		p = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *wakeHeap) siftDown(p int) {
+	n := len(h.items)
+	for {
+		l, r := 2*p+1, 2*p+2
+		smallest := p
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == p {
+			return
+		}
+		h.swap(p, smallest)
+		p = smallest
+	}
+}

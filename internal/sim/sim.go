@@ -1,7 +1,27 @@
-// Package sim runs multi-node simulations: it advances every node and the
-// radio medium in lockstep quanta over a shared cycle clock, fast-forwarding
-// across globally idle gaps so that seconds of simulated time cost
-// microseconds of host time.
+// Package sim runs multi-node simulations over a shared cycle clock.
+//
+// The scheduler is event-horizon driven: it tracks, per node, whether the
+// node can execute right now (runnable) and when its next self-scheduled
+// device event fires (its wake time, kept in a min-heap together with the
+// radio medium's event queue). Lockstep quanta are only spent where
+// cross-node causality can actually occur:
+//
+//   - Globally idle: jump straight to the earliest wake/network event.
+//   - Exactly one node active: the node runs alone toward the next
+//     boundary anything else cares about (other wakes, network events),
+//     via node.AdvanceJump, covering thousands of quanta in one call.
+//   - Two or more nodes active: classic lockstep rounds, but dormant
+//     nodes are skipped — a node with no work and no due device event
+//     would only fast-forward its clock, which is unobservable.
+//
+// A raise hook on every node keeps the skipping honest: when the medium
+// raises an interrupt on a node that was skipped, the node is first brought
+// to the previous round boundary (reproducing the reference engine's
+// dispatch quantization) and then advanced with this round.
+//
+// The fixed-quantum reference engine is retained behind SetReference; the
+// event-horizon engine is required to produce byte-identical traces and is
+// differentially tested against it.
 package sim
 
 import (
@@ -23,8 +43,20 @@ type Sim struct {
 	nodes   []*node.Node
 	net     *medium.Network // may be nil for single-node runs
 	clock   uint64
+	prev    uint64 // previous realized round boundary
 	quantum uint64
 	seed    uint64
+
+	reference bool
+	inited    bool
+
+	// Per-node scheduler caches, refreshed after every advance.
+	runnable    []bool
+	halted      []bool
+	wake        []uint64 // next self device event; MaxUint64 = none
+	lastTarget  []uint64 // last boundary the node actually advanced to
+	mustAdvance []bool   // raised by the medium mid-round; advance this round
+	heap        *wakeHeap
 }
 
 // New creates a simulation over the given nodes and (optionally nil)
@@ -41,19 +73,64 @@ func (s *Sim) SetQuantum(q uint64) {
 	s.quantum = q
 }
 
+// SetReference selects the fixed-quantum reference scheduler (every node
+// advanced every round). It exists as the differential-testing baseline for
+// the event-horizon engine and is substantially slower.
+func (s *Sim) SetReference(on bool) { s.reference = on }
+
 // Clock returns the current global cycle time.
 func (s *Sim) Clock() uint64 { return s.clock }
 
 // Run advances the simulation until the global clock reaches `until`
 // cycles. It returns the first node fault encountered, if any.
 func (s *Sim) Run(until uint64) error {
+	if s.reference {
+		return s.runReference(until)
+	}
+	s.init()
 	for s.clock < until {
-		if s.allHalted() {
+		nRun, rIdx, alive := s.scan()
+		if !alive {
 			break
 		}
-		if !s.anyRunnable() {
+		if nRun == 1 {
+			if x := s.jumpTarget(until, rIdx); x > s.clock+s.quantum {
+				if err := s.jump(rIdx, x); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		var t uint64
+		if nRun == 0 {
 			// Globally idle: jump straight to the next event.
-			next := s.nextEventTime(until)
+			t = s.nextEventTime(until)
+			if t <= s.clock {
+				t = s.clock + 1
+			}
+		} else {
+			t = s.clock + s.quantum
+			if t > until {
+				t = until
+			}
+		}
+		if err := s.round(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runReference is the original fixed-quantum lockstep loop, kept verbatim
+// as the semantic baseline.
+func (s *Sim) runReference(until uint64) error {
+	for s.clock < until {
+		if s.allHaltedLive() {
+			break
+		}
+		if !s.anyRunnableLive() {
+			// Globally idle: jump straight to the next event.
+			next := s.nextEventTimeLive(until)
 			if next <= s.clock {
 				next = s.clock + 1
 			}
@@ -87,7 +164,217 @@ func (s *Sim) Trace() *trace.Trace {
 	return t
 }
 
-func (s *Sim) allHalted() bool {
+func (s *Sim) init() {
+	if s.inited {
+		return
+	}
+	s.inited = true
+	n := len(s.nodes)
+	s.runnable = make([]bool, n)
+	s.halted = make([]bool, n)
+	s.wake = make([]uint64, n)
+	s.lastTarget = make([]uint64, n)
+	s.mustAdvance = make([]bool, n)
+	s.heap = newWakeHeap(n, s.wake)
+	for i := range s.nodes {
+		i := i
+		s.nodes[i].SetRaiseHook(func() { s.onRaise(i) })
+		s.refresh(i)
+	}
+}
+
+// refresh re-derives node i's scheduler caches from its live state.
+func (s *Sim) refresh(i int) {
+	nd := s.nodes[i]
+	s.runnable[i] = nd.Runnable()
+	s.halted[i] = nd.Halted()
+	if at, ok := nd.NextDeviceEvent(); ok {
+		s.wake[i] = at
+	} else {
+		s.wake[i] = math.MaxUint64
+	}
+	if s.runnable[i] || s.wake[i] == math.MaxUint64 {
+		s.heap.remove(i)
+	} else {
+		s.heap.update(i)
+	}
+}
+
+// onRaise runs when any device or the medium latches an interrupt on node
+// i. If the node was dormant and skipped past rounds, first replay its
+// fast-forward to the previous round boundary — that is where the reference
+// engine's clock would be, and interrupt dispatch timestamps depend on it —
+// then make sure it advances with the current round.
+func (s *Sim) onRaise(i int) {
+	if s.lastTarget[i] < s.prev {
+		s.lastTarget[i] = s.prev
+		s.nodes[i].Advance(s.prev)
+	}
+	s.mustAdvance[i] = true
+}
+
+// scan counts runnable nodes, returning the count, the index of one
+// runnable node, and whether any node is still alive.
+func (s *Sim) scan() (int, int, bool) {
+	count, idx, alive := 0, -1, false
+	for i := range s.nodes {
+		if !s.halted[i] {
+			alive = true
+		}
+		if s.runnable[i] {
+			count++
+			idx = i
+		}
+	}
+	return count, idx, alive
+}
+
+// round realizes one lockstep boundary at t: due network events fire first
+// (possibly pulling dormant nodes forward via onRaise), then every node
+// that is runnable, freshly raised, or has a due device event advances.
+// Skipped nodes would only fast-forward their clocks — unobservable, since
+// their next interaction re-syncs them through onRaise or a due wake.
+func (s *Sim) round(t uint64) error {
+	s.prev = s.clock
+	s.clock = t
+	s.advanceNet(t)
+	for i := range s.nodes {
+		if s.runnable[i] || s.mustAdvance[i] || s.wake[i] <= t {
+			if err := s.advanceNode(i, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Sim) advanceNode(i int, t uint64) error {
+	nd := s.nodes[i]
+	s.lastTarget[i] = t
+	nd.Advance(t)
+	s.mustAdvance[i] = false
+	s.refresh(i)
+	if err := nd.Err(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// gridUp returns the smallest lockstep boundary >= t on the grid anchored
+// at c with step q.
+func gridUp(c, q, t uint64) uint64 {
+	if t <= c {
+		return c
+	}
+	return c + q*((t-c+q-1)/q)
+}
+
+// jumpTarget computes how far the single runnable node r may run alone: up
+// to `until`, the round of the earliest dormant wake, or one round short of
+// the earliest network event (that round must start with net.Advance).
+func (s *Sim) jumpTarget(until uint64, r int) uint64 {
+	c, q := s.clock, s.quantum
+	x := until
+	if i, ok := s.heap.min(); ok {
+		if b := gridUp(c, q, s.wake[i]); b < x {
+			x = b
+		}
+	}
+	if s.net != nil {
+		if at, ok := s.net.NextEvent(); ok {
+			b := gridUp(c, q, at)
+			if b <= c+q {
+				return c // network event in the first round: no jump
+			}
+			if b-q < x {
+				x = b - q
+			}
+		}
+	}
+	return x
+}
+
+// jump runs node r alone to boundary x, then realizes the boundary the node
+// actually stopped on for the rest of the system.
+func (s *Sim) jump(r int, x uint64) error {
+	nd := s.nodes[r]
+	s.prev = s.clock
+	s.lastTarget[r] = x
+	stop, _ := nd.AdvanceJump(x, s.clock, s.quantum, s.netDirty)
+	s.lastTarget[r] = stop
+	s.mustAdvance[r] = false
+	s.refresh(r)
+	if stop > s.clock {
+		s.clock = stop
+	}
+	if err := nd.Err(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	// No network event known at jump time can be due at or before stop
+	// (jumpTarget stopped a full round short of the earliest one), but the
+	// jumping node's own I/O may have scheduled nearer ones.
+	s.advanceNet(s.clock)
+	for i := range s.nodes {
+		if i == r {
+			continue
+		}
+		if s.mustAdvance[i] || s.wake[i] <= s.clock {
+			if err := s.advanceNode(i, s.clock); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// advanceNet fires due network events and then re-derives every node's
+// scheduler caches. The refresh is what keeps the wake heap honest: frame
+// delivery can hand a *sender's* radio a new device event (TX-done) without
+// raising any interrupt, so no raise hook fires — only a refresh notices
+// the node's next-event time changed.
+func (s *Sim) advanceNet(t uint64) {
+	if s.net == nil {
+		return
+	}
+	if at, ok := s.net.NextEvent(); !ok || at > t {
+		return
+	}
+	s.net.Advance(t)
+	for i := range s.nodes {
+		s.refresh(i)
+	}
+}
+
+// netDirty reports whether the medium has any scheduled event; the jumping
+// node checks it after I/O instructions to end the jump once radio activity
+// needs lockstep again.
+func (s *Sim) netDirty() bool {
+	if s.net == nil {
+		return false
+	}
+	_, ok := s.net.NextEvent()
+	return ok
+}
+
+// nextEventTime is the globally-idle jump target: the earliest dormant
+// wake or network event, clamped to until.
+func (s *Sim) nextEventTime(until uint64) uint64 {
+	next := uint64(math.MaxUint64)
+	if s.net != nil {
+		if t, ok := s.net.NextEvent(); ok && t < next {
+			next = t
+		}
+	}
+	if i, ok := s.heap.min(); ok && s.wake[i] < next {
+		next = s.wake[i]
+	}
+	if next > until {
+		next = until
+	}
+	return next
+}
+
+func (s *Sim) allHaltedLive() bool {
 	for _, nd := range s.nodes {
 		if !nd.Halted() {
 			return false
@@ -96,7 +383,7 @@ func (s *Sim) allHalted() bool {
 	return true
 }
 
-func (s *Sim) anyRunnable() bool {
+func (s *Sim) anyRunnableLive() bool {
 	for _, nd := range s.nodes {
 		if nd.Runnable() {
 			return true
@@ -105,7 +392,7 @@ func (s *Sim) anyRunnable() bool {
 	return false
 }
 
-func (s *Sim) nextEventTime(until uint64) uint64 {
+func (s *Sim) nextEventTimeLive(until uint64) uint64 {
 	next := uint64(math.MaxUint64)
 	if s.net != nil {
 		if t, ok := s.net.NextEvent(); ok && t < next {

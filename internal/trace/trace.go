@@ -174,15 +174,36 @@ func (t *Trace) SizeBytes() int {
 	return size
 }
 
+// Dense is a recorder's dense per-PC counter state. The MCU's block
+// executor increments Counts and appends to Touched in place (via
+// Recorder.Dense), skipping any per-instruction call overhead; Touched
+// keeps PCs with nonzero counts in first-touch order, which fixes the
+// delta order of the next marker.
+type Dense struct {
+	Counts  []uint32
+	Touched []uint16
+}
+
+// Count records one execution of pc.
+func (d *Dense) Count(pc uint16) {
+	if d.Counts[pc] == 0 {
+		d.Touched = append(d.Touched, pc)
+	}
+	d.Counts[pc]++
+}
+
 // Recorder accumulates one node's trace during emulation. It owns a dense
 // per-PC counter that the MCU increments; Mark snapshots and resets it as a
 // sparse delta.
 type Recorder struct {
-	nt      *NodeTrace
-	counts  []uint32
-	touched []uint16 // PCs with nonzero counts, in first-touch order
-	truth   bool
-	minSP   uint16
+	nt    *NodeTrace
+	d     Dense
+	truth bool
+	minSP uint16
+	// arena is the backing store markers' Deltas are carved from, so Mark
+	// amortizes one large allocation over many markers instead of
+	// allocating a fresh slice per marker.
+	arena []Delta
 }
 
 // NewRecorder creates a recorder for a node executing a program of
@@ -194,11 +215,16 @@ func NewRecorder(nodeID, programLen int, truth bool) *Recorder {
 			NodeID:     nodeID,
 			ProgramLen: programLen,
 		},
-		counts: make([]uint32, programLen),
-		truth:  truth,
-		minSP:  0xffff,
+		d:     Dense{Counts: make([]uint32, programLen)},
+		truth: truth,
+		minSP: 0xffff,
 	}
 }
+
+// Dense exposes the recorder's dense counter for in-place updates by the
+// MCU's block executor; the executor increments counters directly instead of
+// making a call per executed instruction.
+func (r *Recorder) Dense() *Dense { return &r.d }
 
 // ObserveSP records a stack-pointer sample; the minimum since the previous
 // marker lands in that marker's MinSP.
@@ -209,11 +235,19 @@ func (r *Recorder) ObserveSP(sp uint16) {
 }
 
 // CountPC records one execution of the instruction at pc.
-func (r *Recorder) CountPC(pc uint16) {
-	if r.counts[pc] == 0 {
-		r.touched = append(r.touched, pc)
+func (r *Recorder) CountPC(pc uint16) { r.d.Count(pc) }
+
+// CountPCs records one execution per entry of pcs, in order. First-touch
+// ordering — and therefore delta ordering — is identical to calling CountPC
+// in a loop.
+func (r *Recorder) CountPCs(pcs []uint16) {
+	counts := r.d.Counts
+	for _, pc := range pcs {
+		if counts[pc] == 0 {
+			r.d.Touched = append(r.d.Touched, pc)
+		}
+		counts[pc]++
 	}
-	r.counts[pc]++
 }
 
 // Mark appends a lifecycle marker carrying the delta accumulated since the
@@ -222,13 +256,23 @@ func (r *Recorder) CountPC(pc uint16) {
 // with truth recording enabled.
 func (r *Recorder) Mark(kind Kind, arg int, cycle uint64, instance int) {
 	var deltas []Delta
-	if len(r.touched) > 0 {
-		deltas = make([]Delta, 0, len(r.touched))
-		for _, pc := range r.touched {
-			deltas = append(deltas, Delta{PC: pc, Count: r.counts[pc]})
-			r.counts[pc] = 0
+	if n := len(r.d.Touched); n > 0 {
+		if len(r.arena)+n > cap(r.arena) {
+			size := 4096
+			if n > size {
+				size = n
+			}
+			r.arena = make([]Delta, 0, size)
 		}
-		r.touched = r.touched[:0]
+		start := len(r.arena)
+		for _, pc := range r.d.Touched {
+			r.arena = append(r.arena, Delta{PC: pc, Count: r.d.Counts[pc]})
+			r.d.Counts[pc] = 0
+		}
+		// Reslice with a hard cap so the marker's view can never alias a
+		// later marker's deltas; Touched is reused as scratch.
+		deltas = r.arena[start:len(r.arena):len(r.arena)]
+		r.d.Touched = r.d.Touched[:0]
 	}
 	r.nt.Markers = append(r.nt.Markers, Marker{
 		Kind: kind, Arg: arg, Cycle: cycle, Deltas: deltas, MinSP: r.minSP,
