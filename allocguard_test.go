@@ -1,0 +1,45 @@
+package sentomist_test
+
+import (
+	"testing"
+
+	"sentomist/internal/experiments"
+)
+
+// Allocation-profile thresholds for the streaming Case-I end-to-end op
+// (five 10-second runs recorded, anatomized, featured, and mined via the
+// campaign engine). The canonical measurement is in BENCH_PR3.json
+// (4,511 allocs/op, ~2.94 MB/op); the thresholds carry ~40% headroom for
+// runner variance. If a change regresses past them, either fix the
+// allocation or consciously re-baseline both this file and
+// BENCH_PR3.json.
+const (
+	maxStreamingAllocsPerOp = 6_500
+	maxStreamingBytesPerOp  = 4_200_000
+)
+
+// TestStreamingAllocBudget guards the streaming pipeline's allocation
+// profile in CI: the pooled, online path must not quietly regress back
+// toward materialized-trace costs.
+func TestStreamingAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.CaseICampaign(experiments.CaseISeedBase); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	allocs := res.AllocsPerOp()
+	bytes := res.AllocedBytesPerOp()
+	t.Logf("streaming Case-I end to end: %d allocs/op, %d B/op over %d op(s)", allocs, bytes, res.N)
+	if allocs > maxStreamingAllocsPerOp {
+		t.Errorf("allocs/op regressed: %d > %d (threshold; see BENCH_PR3.json)", allocs, maxStreamingAllocsPerOp)
+	}
+	if bytes > maxStreamingBytesPerOp {
+		t.Errorf("B/op regressed: %d > %d (threshold; see BENCH_PR3.json)", bytes, maxStreamingBytesPerOp)
+	}
+}

@@ -546,3 +546,78 @@ func BenchmarkCounterSparse(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkPipelineCaseI measures the end-to-end pipeline — simulate,
+// anatomize, feature, detect, rank — over the five canonical Case-I runs,
+// comparing the materialized two-pass path against the streaming campaign
+// engine (online anatomize + feature during emulation, markers never
+// materialized, recorder/counter scratch pooled across runs).
+//
+//	materialized         record full traces, then Mine
+//	materialized_pooled  as above, recycling trace storage between rounds
+//	streaming            campaign engine, DiscardMarkers, pooled scratch
+func BenchmarkPipelineCaseI(b *testing.B) {
+	mineMaterialized := func(release bool) (*sentomist.Ranking, error) {
+		runs := make([]*sentomist.Run, len(experiments.CaseIPeriods))
+		errs := make([]error, len(experiments.CaseIPeriods))
+		var wg sync.WaitGroup
+		for j, d := range experiments.CaseIPeriods {
+			wg.Add(1)
+			go func(j, d int) {
+				defer wg.Done()
+				runs[j], errs[j] = sentomist.RunCaseI(sentomist.CaseIConfig{
+					PeriodMS: d, Seconds: 10,
+					Seed: experiments.CaseISeedBase + uint64(j),
+				})
+			}(j, d)
+		}
+		wg.Wait()
+		inputs := make([]sentomist.RunInput, len(runs))
+		for j, run := range runs {
+			if errs[j] != nil {
+				return nil, errs[j]
+			}
+			inputs[j] = sentomist.RunInput{Trace: run.Trace, Programs: run.Programs}
+		}
+		ranking, err := sentomist.Mine(inputs, sentomist.MineConfig{
+			IRQ: sentomist.IRQADC, Nodes: []int{sentomist.CaseISensorID},
+		})
+		if release {
+			for _, run := range runs {
+				run.Release()
+			}
+		}
+		return ranking, err
+	}
+	runsPerSec := func(b *testing.B) {
+		b.Helper()
+		b.ReportMetric(float64(len(experiments.CaseIPeriods))*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+	}
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mineMaterialized(false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		runsPerSec(b)
+	})
+	b.Run("materialized_pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mineMaterialized(true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		runsPerSec(b)
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.CaseICampaign(experiments.CaseISeedBase); err != nil {
+				b.Fatal(err)
+			}
+		}
+		runsPerSec(b)
+	})
+}

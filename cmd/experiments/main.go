@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sentomist/internal/experiments"
 )
@@ -124,6 +125,25 @@ func run() error {
 	}
 	for _, r := range nuRows {
 		fmt.Printf("  %-10s rank %d\n", r.Name, r.FirstSymptomRank)
+	}
+	fmt.Println()
+
+	// E6: streaming campaign engine.
+	fmt.Println("E6 — streaming campaign (online anatomize + feature, no materialized trace)")
+	t0 := time.Now()
+	samples, equal, err := experiments.CampaignEquivalence(experiments.CaseISeedBase)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return err
+	}
+	verdict := "IDENTICAL to the materialized pipeline"
+	if !equal {
+		verdict = "DIVERGED from the materialized pipeline"
+	}
+	fmt.Printf("  Case I, %d runs both ways in %v: %d samples, ranking %s\n",
+		len(experiments.CaseIPeriods), elapsed.Round(time.Millisecond), samples, verdict)
+	if !equal {
+		return fmt.Errorf("streaming campaign ranking diverged")
 	}
 	fmt.Println()
 

@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 
+	"sentomist/internal/feature"
 	"sentomist/internal/lifecycle"
 	"sentomist/internal/node"
 	"sentomist/internal/synth"
@@ -25,6 +27,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "starting seed")
 		nodes   = flag.Int("nodes", 0, "exact node count (0 = random 1..6)")
 		seconds = flag.Float64("seconds", 0.5, "simulated seconds per scenario")
+		stream  = flag.Bool("stream", false, "also cross-check the online anatomizer against the two-pass reference on every node")
 	)
 	flag.Parse()
 	stop, err := startProfiling()
@@ -32,7 +35,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "soak:", err)
 		os.Exit(1)
 	}
-	err = run(*runs, *seed, *nodes, *seconds)
+	err = run(*runs, *seed, *nodes, *seconds, *stream)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
@@ -40,8 +43,9 @@ func main() {
 	}
 }
 
-func run(runs int, seed uint64, nodes int, seconds float64) error {
-	totalIntervals, totalMarkers := 0, 0
+func run(runs int, seed uint64, nodes int, seconds float64, stream bool) error {
+	totalIntervals, totalMarkers, totalStreamed := 0, 0, 0
+	pool := &lifecycle.ScratchPool{}
 	for i := 0; i < runs; i++ {
 		s := seed + uint64(i)
 		r, err := synth.Generate(synth.Config{
@@ -63,6 +67,13 @@ func run(runs int, seed uint64, nodes int, seconds float64) error {
 				return fmt.Errorf("seed %d node %d: %w", s, nt.NodeID, err)
 			}
 			totalIntervals += n
+			if stream {
+				n, err := verifyStream(nt, pool)
+				if err != nil {
+					return fmt.Errorf("seed %d node %d: %w", s, nt.NodeID, err)
+				}
+				totalStreamed += n
+			}
 		}
 		if (i+1)%25 == 0 {
 			fmt.Printf("%d/%d scenarios ok (%d intervals verified)\n", i+1, runs, totalIntervals)
@@ -70,7 +81,42 @@ func run(runs int, seed uint64, nodes int, seconds float64) error {
 	}
 	fmt.Printf("soak passed: %d scenarios, %d markers, %d intervals verified against ground truth\n",
 		runs, totalMarkers, totalIntervals)
+	if stream {
+		fmt.Printf("streaming anatomizer: %d intervals bit-identical to the two-pass reference\n",
+			totalStreamed)
+	}
 	return nil
+}
+
+// verifyStream replays the node's markers through the online anatomizer and
+// checks intervals and counters are bit-identical to the two-pass
+// reference (Extract + CounterSparse).
+func verifyStream(nt *trace.NodeTrace, pool *lifecycle.ScratchPool) (int, error) {
+	want, err := lifecycle.NewSequence(nt).Extract()
+	if err != nil {
+		return 0, err
+	}
+	ext := feature.NewExtractor(&trace.Trace{Nodes: []*trace.NodeTrace{nt}})
+	got, cnt, err := lifecycle.Replay(nt, pool)
+	if err != nil {
+		return 0, fmt.Errorf("stream: %w", err)
+	}
+	if len(got) != len(want) {
+		return 0, fmt.Errorf("stream: %d intervals, reference has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return 0, fmt.Errorf("stream: interval %d: %+v, reference %+v", i, got[i], want[i])
+		}
+		wantC, err := ext.CounterSparse(want[i])
+		if err != nil {
+			return 0, err
+		}
+		if !reflect.DeepEqual(cnt[i], wantC) {
+			return 0, fmt.Errorf("stream: interval %d: counter diverges from reference", i)
+		}
+	}
+	return len(want), nil
 }
 
 // verify checks one node's extracted intervals against runtime truth and

@@ -72,6 +72,21 @@ type Run struct {
 // Program returns the binary node id runs.
 func (r *Run) Program(id int) *isa.Program { return r.Programs[id] }
 
+// Release recycles the run's big allocations — every node recorder's
+// dense counter scratch plus, when markers were materialized, the trace's
+// marker and delta storage — into the trace package's pools. The Trace and
+// all views into it are invalid afterwards; call it only when the run is
+// fully consumed (campaign workers do, once the streamed intervals are
+// finalized).
+func (r *Run) Release() {
+	for _, n := range r.Nodes {
+		n.Release()
+	}
+	if r.Trace != nil {
+		r.Trace.Release()
+	}
+}
+
 // RAM reads a named .var of a node after the run (application-level state,
 // e.g. drop counters).
 func (r *Run) RAM(id int, varName string) (uint8, error) {
@@ -135,18 +150,25 @@ type nodeOpts struct {
 	fuzzMax  uint64
 	// sequential selects the TOSSIM-like no-preemption node mode.
 	sequential bool
+	// sink streams the node's lifecycle markers to an online consumer;
+	// discard additionally drops them from the materialized trace (the
+	// streaming pipeline's memory-light mode).
+	sink    trace.StreamSink
+	discard bool
 }
 
 // addNode assembles src (if not pre-assembled) and builds a node with the
 // requested devices wired to the shared network.
 func (b *builder) addNode(id int, prog *asm.Result, o nodeOpts) (*node.Node, error) {
 	n, err := node.New(node.Config{
-		ID:         id,
-		Program:    prog.Program,
-		RAMInit:    o.ramInit,
-		Truth:      true,
-		Sequential: o.sequential,
-		SingleStep: b.reference,
+		ID:             id,
+		Program:        prog.Program,
+		RAMInit:        o.ramInit,
+		Truth:          true,
+		Sequential:     o.sequential,
+		SingleStep:     b.reference,
+		Sink:           o.sink,
+		DiscardMarkers: o.discard,
 	})
 	if err != nil {
 		return nil, err

@@ -3,7 +3,7 @@ package apps
 import (
 	"fmt"
 
-	"sentomist/internal/asm"
+	"sentomist/internal/trace"
 )
 
 // Case III — the paper's Section VI-D: an event-detection WSN where a
@@ -381,15 +381,19 @@ type CTPConfig struct {
 	// Reference runs the whole scenario on the single-step reference
 	// engine, for differential testing against the batched engine.
 	Reference bool
+	// Stream installs per-node streaming sinks; DiscardMarkers drops
+	// markers from the materialized trace (see OscConfig).
+	Stream         map[int]trace.StreamSink
+	DiscardMarkers bool
 }
 
 // RunCTPHeartbeat executes one Case-III run: 9 nodes, two-level tree.
 func RunCTPHeartbeat(cfg CTPConfig) (*Run, error) {
-	prog, err := asm.String(ctpNodeSource(!cfg.Fixed))
+	prog, err := assembleCached(ctpNodeSource(!cfg.Fixed))
 	if err != nil {
 		return nil, fmt.Errorf("apps: ctp node: %w", err)
 	}
-	rootProg, err := asm.String(oscSinkSource)
+	rootProg, err := assembleCached(oscSinkSource)
 	if err != nil {
 		return nil, fmt.Errorf("apps: ctp root: %w", err)
 	}
@@ -401,7 +405,10 @@ func RunCTPHeartbeat(cfg CTPConfig) (*Run, error) {
 
 	b := newBuilder(cfg.Seed)
 	b.reference = cfg.Reference
-	if _, err := b.addNode(CTPRootID, rootProg, nodeOpts{radio: true}); err != nil {
+	if _, err := b.addNode(CTPRootID, rootProg, nodeOpts{
+		radio: true,
+		sink:  cfg.Stream[CTPRootID], discard: cfg.DiscardMarkers,
+	}); err != nil {
 		return nil, err
 	}
 	cfgRNG := b.rng.Split(0xc0f)
@@ -414,7 +421,10 @@ func RunCTPHeartbeat(cfg CTPConfig) (*Run, error) {
 		if isSource[id] {
 			ram[prog.Vars["issrc"]] = 1
 		}
-		if _, err := b.addNode(id, prog, nodeOpts{timer0: true, timer1: true, radio: true, ramInit: ram}); err != nil {
+		if _, err := b.addNode(id, prog, nodeOpts{
+			timer0: true, timer1: true, radio: true, ramInit: ram,
+			sink: cfg.Stream[id], discard: cfg.DiscardMarkers,
+		}); err != nil {
 			return nil, err
 		}
 	}

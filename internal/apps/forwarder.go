@@ -3,7 +3,7 @@ package apps
 import (
 	"fmt"
 
-	"sentomist/internal/asm"
+	"sentomist/internal/trace"
 )
 
 // Case II — the paper's Section VI-C: a three-node multi-hop forwarding
@@ -303,6 +303,10 @@ type ForwarderConfig struct {
 	// Reference runs the whole scenario on the single-step reference
 	// engine, for differential testing against the batched engine.
 	Reference bool
+	// Stream installs per-node streaming sinks; DiscardMarkers drops
+	// markers from the materialized trace (see OscConfig).
+	Stream         map[int]trace.StreamSink
+	DiscardMarkers bool
 }
 
 // RunForwarder executes one Case-II run.
@@ -311,28 +315,37 @@ func RunForwarder(cfg ForwarderConfig) (*Run, error) {
 	if mask == 0 {
 		mask = 0x1f
 	}
-	srcProg, err := asm.String(fwdSourceSource(0xA7, mask))
+	srcProg, err := assembleCached(fwdSourceSource(0xA7, mask))
 	if err != nil {
 		return nil, fmt.Errorf("apps: forwarder source: %w", err)
 	}
-	relayProg, err := asm.String(fwdRelaySource(!cfg.Fixed))
+	relayProg, err := assembleCached(fwdRelaySource(!cfg.Fixed))
 	if err != nil {
 		return nil, fmt.Errorf("apps: forwarder relay: %w", err)
 	}
-	sinkProg, err := asm.String(oscSinkSource)
+	sinkProg, err := assembleCached(oscSinkSource)
 	if err != nil {
 		return nil, fmt.Errorf("apps: forwarder sink: %w", err)
 	}
 
 	b := newBuilder(cfg.Seed)
 	b.reference = cfg.Reference
-	if _, err := b.addNode(FwdSinkID, sinkProg, nodeOpts{radio: true}); err != nil {
+	if _, err := b.addNode(FwdSinkID, sinkProg, nodeOpts{
+		radio: true,
+		sink:  cfg.Stream[FwdSinkID], discard: cfg.DiscardMarkers,
+	}); err != nil {
 		return nil, err
 	}
-	if _, err := b.addNode(FwdRelayID, relayProg, nodeOpts{radio: true}); err != nil {
+	if _, err := b.addNode(FwdRelayID, relayProg, nodeOpts{
+		radio: true,
+		sink:  cfg.Stream[FwdRelayID], discard: cfg.DiscardMarkers,
+	}); err != nil {
 		return nil, err
 	}
-	if _, err := b.addNode(FwdSourceID, srcProg, nodeOpts{timer0: true, radio: true}); err != nil {
+	if _, err := b.addNode(FwdSourceID, srcProg, nodeOpts{
+		timer0: true, radio: true,
+		sink: cfg.Stream[FwdSourceID], discard: cfg.DiscardMarkers,
+	}); err != nil {
 		return nil, err
 	}
 	// A chain: the source cannot hear the sink (hidden terminal).

@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 
-	"sentomist/internal/asm"
 	"sentomist/internal/dev"
 	"sentomist/internal/lifecycle"
 	"sentomist/internal/trace"
@@ -223,6 +222,14 @@ type OscConfig struct {
 	// Reference runs the whole scenario on the single-step reference
 	// engine, for differential testing against the batched engine.
 	Reference bool
+	// Stream installs per-node streaming sinks: markers (with their
+	// instruction-count deltas) are delivered online as each node
+	// records them — the hook for the streaming featuring pipeline.
+	Stream map[int]trace.StreamSink
+	// DiscardMarkers drops markers from the materialized trace on every
+	// node; with Stream sinks installed, the online consumers are then
+	// the only output of the record phase.
+	DiscardMarkers bool
 }
 
 // RunOscilloscope executes one Case-I run and returns its trace.
@@ -231,23 +238,27 @@ func RunOscilloscope(cfg OscConfig) (*Run, error) {
 		return nil, fmt.Errorf("apps: oscilloscope period %d ms invalid", cfg.PeriodMS)
 	}
 	d := uint64(cfg.PeriodMS) * (CyclesPerSecond / 1000)
-	sensorSrc, err := asm.String(oscSensorSource(d, !cfg.Fixed))
+	sensorSrc, err := assembleCached(oscSensorSource(d, !cfg.Fixed))
 	if err != nil {
 		return nil, fmt.Errorf("apps: sensor: %w", err)
 	}
-	sinkSrc, err := asm.String(oscSinkSource)
+	sinkSrc, err := assembleCached(oscSinkSource)
 	if err != nil {
 		return nil, fmt.Errorf("apps: sink: %w", err)
 	}
 
 	b := newBuilder(cfg.Seed)
 	b.reference = cfg.Reference
-	if _, err := b.addNode(OscSinkID, sinkSrc, nodeOpts{radio: true}); err != nil {
+	if _, err := b.addNode(OscSinkID, sinkSrc, nodeOpts{
+		radio: true,
+		sink:  cfg.Stream[OscSinkID], discard: cfg.DiscardMarkers,
+	}); err != nil {
 		return nil, err
 	}
 	if _, err := b.addNode(OscSensorID, sensorSrc, nodeOpts{
 		timer0: true, timer1: true, adc: true, radio: true,
 		sequential: cfg.Sequential,
+		sink:       cfg.Stream[OscSensorID], discard: cfg.DiscardMarkers,
 	}); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sentomist/internal/asm"
+	"sentomist/internal/trace"
 )
 
 // Scenario is the generic front door for user-defined experiments: write
@@ -34,6 +35,12 @@ type NodeSpec struct {
 	// Sequential runs this node under TOSSIM-like discrete-event
 	// semantics: no preemption, event procedures execute atomically.
 	Sequential bool
+	// Stream, when set, receives the node's lifecycle markers online as
+	// they are recorded (the streaming featuring hook).
+	Stream trace.StreamSink
+	// DiscardMarkers drops this node's markers from the materialized
+	// trace; with Stream set, the sink is the node's only output.
+	DiscardMarkers bool
 }
 
 // NewScenario creates an empty scenario whose randomness derives from seed.
@@ -71,6 +78,8 @@ func (s *Scenario) AddNode(spec NodeSpec) error {
 		fuzzMin:    spec.FuzzMinGap,
 		fuzzMax:    spec.FuzzMaxGap,
 		sequential: spec.Sequential,
+		sink:       spec.Stream,
+		discard:    spec.DiscardMarkers,
 	})
 	return err
 }
@@ -93,7 +102,8 @@ func (s *Scenario) Run(seconds float64) (*Run, error) {
 
 // assembleWithPrelude assembles source with the shared hardware .equ map
 // prepended, so user programs can name ports (T0_CTRL, TX_FIFO, ...) and
-// commands without redefining them.
+// commands without redefining them. Results are shared through a bounded
+// content-keyed cache (see asmcache.go).
 func assembleWithPrelude(source string) (*asm.Result, error) {
-	return asm.String(prelude + source)
+	return assembleCached(prelude + source)
 }

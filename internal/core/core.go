@@ -300,48 +300,61 @@ func Mine(runs []RunInput, cfg Config) (*Ranking, error) {
 		svectors = append(svectors, res.sparse...)
 	}
 
-	var dim int
+	if sparse {
+		return rankSparse(samples, svectors, det, labels, excluded)
+	}
+	if len(vectors) == 0 {
+		return nil, ErrNoIntervals
+	}
+	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("core: sample %d has %d dims, want %d — runs use different binaries", i, len(v), dim)
+		}
+	}
+	feature.Scale01(vectors)
+	scores, err := det.Score(vectors)
+	if err != nil {
+		return nil, fmt.Errorf("core: detector %s: %w", det.Name(), err)
+	}
+	return assembleRanking(samples, scores, det, labels, excluded, dim), nil
+}
+
+// rankSparse is the shared scoring tail of the sparse pipeline — Mine and
+// MineBatches both end here: per-dimension [0,1] scaling (in place, exactly
+// Scale01's semantics on the densified matrix), detector scoring through
+// the sparse fast path when available, and the ascending ranking.
+func rankSparse(samples []Sample, svectors []stats.Sparse, det outlier.Detector, labels LabelStyle, excluded int) (*Ranking, error) {
+	if len(svectors) == 0 {
+		return nil, ErrNoIntervals
+	}
+	dim := svectors[0].Dim
+	for i, v := range svectors {
+		if v.Dim != dim {
+			return nil, fmt.Errorf("core: sample %d has %d dims, want %d — runs use different binaries", i, v.Dim, dim)
+		}
+	}
+	feature.Scale01Sparse(svectors)
 	var scores []float64
 	var err error
-	if sparse {
-		if len(svectors) == 0 {
-			return nil, ErrNoIntervals
-		}
-		dim = svectors[0].Dim
-		for i, v := range svectors {
-			if v.Dim != dim {
-				return nil, fmt.Errorf("core: sample %d has %d dims, want %d — runs use different binaries", i, v.Dim, dim)
-			}
-		}
-		feature.Scale01Sparse(svectors)
-		if sd, ok := det.(outlier.SparseDetector); ok {
-			scores, err = sd.ScoreSparse(svectors)
-		} else {
-			// Densify the scaled batch for detectors without a
-			// sparse path; scaled-then-densified equals
-			// densified-then-scaled exactly.
-			vectors = make([][]float64, len(svectors))
-			for i, v := range svectors {
-				vectors[i] = v.Dense()
-			}
-			scores, err = det.Score(vectors)
-		}
+	if sd, ok := det.(outlier.SparseDetector); ok {
+		scores, err = sd.ScoreSparse(svectors)
 	} else {
-		if len(vectors) == 0 {
-			return nil, ErrNoIntervals
+		// Densify the scaled batch for detectors without a sparse path;
+		// scaled-then-densified equals densified-then-scaled exactly.
+		vectors := make([][]float64, len(svectors))
+		for i, v := range svectors {
+			vectors[i] = v.Dense()
 		}
-		dim = len(vectors[0])
-		for i, v := range vectors {
-			if len(v) != dim {
-				return nil, fmt.Errorf("core: sample %d has %d dims, want %d — runs use different binaries", i, len(v), dim)
-			}
-		}
-		feature.Scale01(vectors)
 		scores, err = det.Score(vectors)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: detector %s: %w", det.Name(), err)
 	}
+	return assembleRanking(samples, scores, det, labels, excluded, dim), nil
+}
+
+func assembleRanking(samples []Sample, scores []float64, det outlier.Detector, labels LabelStyle, excluded, dim int) *Ranking {
 	order := outlier.Rank(scores)
 	ranked := make([]Sample, len(order))
 	for pos, idx := range order {
@@ -355,7 +368,79 @@ func Mine(runs []RunInput, cfg Config) (*Ranking, error) {
 		Samples:  ranked,
 		Excluded: excluded,
 		Dim:      dim,
-	}, nil
+	}
+}
+
+// Batch is the streamed output of one run's online anatomizers: every
+// interval a node's Streamer finalized, paired with its sparse instruction
+// counter at the same index. Batches are what the campaign engine hands to
+// MineBatches in place of materialized traces.
+type Batch struct {
+	// Run is the 1-based index of the testing run (the sample label's
+	// "r"). Several batches may share a run (one per monitored node).
+	Run int
+	// Intervals and Counters are parallel: Counters[i] is the
+	// Definition-4 counter of Intervals[i].
+	Intervals []lifecycle.Interval
+	Counters  []stats.Sparse
+}
+
+// MineBatches scores pre-featured interval batches — the streamed
+// counterpart of Mine. The anatomize and feature phases already happened
+// online during recording, so only the filter → scale → detect → rank tail
+// runs here. Batches must arrive in the (run, node, interval) order the
+// materialized pipeline would visit, which makes the ranking bit-identical
+// to Mine over the equivalent traces.
+//
+// Only FeatureCounter batches exist (streaming accumulates instruction
+// counters); cfg.Feature must be zero or FeatureCounter, and
+// cfg.DenseFeatures is not supported. Scaling mutates the batch counters
+// in place, exactly as Mine mutates its freshly extracted vectors.
+func MineBatches(batches []Batch, cfg Config) (*Ranking, error) {
+	if cfg.IRQ == 0 {
+		return nil, fmt.Errorf("core: config must name the IRQ to mine")
+	}
+	if cfg.Feature != 0 && cfg.Feature != FeatureCounter {
+		return nil, fmt.Errorf("core: streamed batches carry instruction counters; feature kind %d needs the materialized pipeline", cfg.Feature)
+	}
+	if cfg.DenseFeatures {
+		return nil, fmt.Errorf("core: streamed batches are sparse; DenseFeatures needs the materialized pipeline")
+	}
+	det := cfg.Detector
+	if det == nil {
+		det = outlier.OneClassSVM{}
+	}
+	labels := cfg.Labels
+	if labels == 0 {
+		labels = LabelRunSeq
+	}
+	allowed := map[int]bool{}
+	for _, id := range cfg.Nodes {
+		allowed[id] = true
+	}
+	var samples []Sample
+	var svectors []stats.Sparse
+	excluded := 0
+	for bi, b := range batches {
+		if len(b.Intervals) != len(b.Counters) {
+			return nil, fmt.Errorf("core: batch %d has %d intervals but %d counters", bi, len(b.Intervals), len(b.Counters))
+		}
+		for i, iv := range b.Intervals {
+			if iv.IRQ != cfg.IRQ {
+				continue
+			}
+			if len(allowed) > 0 && !allowed[iv.Node] {
+				continue
+			}
+			if !iv.Complete {
+				excluded++
+				continue
+			}
+			samples = append(samples, Sample{Run: b.Run, Interval: iv})
+			svectors = append(svectors, b.Counters[i])
+		}
+	}
+	return rankSparse(samples, svectors, det, labels, excluded)
 }
 
 func extractFeature(ext *feature.Extractor, run RunInput, feat FeatureKind, iv lifecycle.Interval) ([]float64, error) {

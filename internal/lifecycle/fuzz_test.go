@@ -2,13 +2,17 @@ package lifecycle_test
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"sentomist/internal/asm"
 	"sentomist/internal/dev"
+	"sentomist/internal/feature"
+	"sentomist/internal/lifecycle"
 	"sentomist/internal/node"
 	"sentomist/internal/randx"
 	"sentomist/internal/sim"
+	"sentomist/internal/stats"
 	"sentomist/internal/trace"
 )
 
@@ -150,6 +154,77 @@ func TestEngineEquivalenceUnderRandomInterrupts(t *testing.T) {
 		if !bytes.Equal(fast, ref) {
 			t.Fatalf("seed %d: batched and reference traces differ (%d vs %d bytes)",
 				seed, len(fast), len(ref))
+		}
+	}
+}
+
+// TestStreamingEquivalenceUnderRandomInterrupts extends the fuzz corpus to
+// the online anatomizer: under every random interrupt schedule, a live
+// Streamer attached to the recorder (with marker materialization still on)
+// and a Replay over the materialized trace must both reproduce the
+// two-pass reference — NewSequence(nt).Extract() intervals plus
+// Extractor.CounterSparse counters — bit for bit.
+func TestStreamingEquivalenceUnderRandomInterrupts(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		r, err := asm.String(fuzzTargetSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := lifecycle.NewStreamer(1, nil)
+		n, err := node.New(node.Config{
+			ID: 1, Program: r.Program, Truth: true, Sink: live,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Attach(dev.NewFuzzer(n, randx.New(seed), []int{1, 2, 3}, 40, 2500))
+		s := sim.New(seed, []*node.Node{n}, nil)
+		if err := s.Run(500_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		nt := n.Trace()
+
+		wantIvs, err := lifecycle.NewSequence(nt).Extract()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ext := feature.NewExtractor(&trace.Trace{Nodes: []*trace.NodeTrace{nt}})
+		wantCnt, err := ext.CountersSparse(wantIvs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		liveIvs, liveCnt, err := live.Finalize()
+		if err != nil {
+			t.Fatalf("seed %d: live streamer: %v", seed, err)
+		}
+		repIvs, repCnt, err := lifecycle.Replay(nt, &lifecycle.ScratchPool{})
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+
+		for label, got := range map[string]struct {
+			ivs []lifecycle.Interval
+			cnt []stats.Sparse
+		}{
+			"live":   {liveIvs, liveCnt},
+			"replay": {repIvs, repCnt},
+		} {
+			if len(got.ivs) != len(wantIvs) {
+				t.Fatalf("seed %d: %s: %d intervals, want %d", seed, label, len(got.ivs), len(wantIvs))
+			}
+			for i := range wantIvs {
+				if !reflect.DeepEqual(got.ivs[i], wantIvs[i]) {
+					t.Fatalf("seed %d: %s: interval %d:\n got: %+v\nwant: %+v",
+						seed, label, i, got.ivs[i], wantIvs[i])
+				}
+				if !reflect.DeepEqual(got.cnt[i], wantCnt[i]) {
+					t.Fatalf("seed %d: %s: counter %d diverges", seed, label, i)
+				}
+			}
+		}
+		if len(wantIvs) < 100 {
+			t.Fatalf("seed %d: corpus too small: %d intervals", seed, len(wantIvs))
 		}
 	}
 }

@@ -1,0 +1,224 @@
+package lifecycle_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sentomist/internal/feature"
+	"sentomist/internal/lifecycle"
+	"sentomist/internal/trace"
+)
+
+// mk builds a marker with a distinctive single-PC delta so every window
+// boundary decision shows up in the counters: marker i executes PC i
+// (i+1) times.
+func mk(i int, kind trace.Kind, arg int) trace.Marker {
+	return trace.Marker{
+		Kind:   kind,
+		Arg:    arg,
+		Cycle:  uint64(10 * (i + 1)),
+		Deltas: []trace.Delta{{PC: uint16(i), Count: uint32(i + 1)}},
+	}
+}
+
+func handBuilt(kinds []trace.Kind, args []int) *trace.NodeTrace {
+	nt := &trace.NodeTrace{NodeID: 1, ProgramLen: len(kinds) + 1}
+	for i, k := range kinds {
+		nt.Markers = append(nt.Markers, mk(i, k, args[i]))
+	}
+	return nt
+}
+
+// checkStreamEquivalence asserts the online anatomizer produces the same
+// intervals and bit-identical counters as the two-pass reference on nt.
+func checkStreamEquivalence(t *testing.T, label string, nt *trace.NodeTrace) {
+	t.Helper()
+	wantIvs, wantErr := lifecycle.NewSequence(nt).Extract()
+	gotIvs, gotCnt, gotErr := lifecycle.Replay(nt, nil)
+	if wantErr != nil || gotErr != nil {
+		if wantErr == nil || gotErr == nil || wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%s: error mismatch:\n  materialized: %v\n  streaming:    %v", label, wantErr, gotErr)
+		}
+		if !errors.Is(gotErr, lifecycle.ErrMalformed) {
+			t.Fatalf("%s: streaming error does not wrap ErrMalformed: %v", label, gotErr)
+		}
+		return
+	}
+	if len(gotIvs) != len(wantIvs) {
+		t.Fatalf("%s: %d streamed intervals, want %d\n got: %+v\nwant: %+v",
+			label, len(gotIvs), len(wantIvs), gotIvs, wantIvs)
+	}
+	ext := feature.NewExtractor(&trace.Trace{Nodes: []*trace.NodeTrace{nt}})
+	for i := range wantIvs {
+		if !reflect.DeepEqual(gotIvs[i], wantIvs[i]) {
+			t.Errorf("%s: interval %d:\n got: %+v\nwant: %+v", label, i, gotIvs[i], wantIvs[i])
+			continue
+		}
+		wantC, err := ext.CounterSparse(wantIvs[i])
+		if err != nil {
+			t.Fatalf("%s: interval %d: %v", label, i, err)
+		}
+		if !reflect.DeepEqual(gotCnt[i], wantC) {
+			t.Errorf("%s: interval %d counter:\n got: %+v\nwant: %+v", label, i, gotCnt[i], wantC)
+		}
+	}
+}
+
+func TestStreamerMatchesExtractHandBuilt(t *testing.T) {
+	P, R, I, T, E := trace.PostTask, trace.RunTask, trace.Int, trace.Reti, trace.TaskEnd
+	cases := []struct {
+		name  string
+		kinds []trace.Kind
+		args  []int
+	}{
+		{"no_tasks", []trace.Kind{I, T}, []int{3, 0}},
+		{"one_task", []trace.Kind{I, P, T, R, E}, []int{3, 0, 0, 0, 0}},
+		{"two_posts", []trace.Kind{I, P, P, T, R, E, R, E}, []int{3, 0, 1, 0, 0, 0, 1, 1}},
+		{"task_chain", []trace.Kind{I, P, T, R, P, E, R, E}, []int{3, 0, 0, 0, 1, 0, 1, 1}},
+		{"nested_handlers", []trace.Kind{I, I, T, P, T, R, E}, []int{3, 4, 0, 0, 0, 0, 0}},
+		{"preempted_task", []trace.Kind{I, P, T, R, I, T, E}, []int{3, 0, 0, 0, 4, 0, 0}},
+		{"interleaved", []trace.Kind{I, P, T, I, P, T, R, E, R, E}, []int{3, 0, 0, 4, 1, 0, 0, 0, 1, 1}},
+		{"boot_post_unowned", []trace.Kind{P, R, E, I, T}, []int{9, 9, 9, 3, 0}},
+		{"trunc_handler_open", []trace.Kind{I, P}, []int{3, 0}},
+		{"trunc_posts_never_ran", []trace.Kind{I, P, T}, []int{3, 0, 0}},
+		{"trunc_pending_after_task", []trace.Kind{I, P, P, T, R, E}, []int{3, 0, 1, 0, 0, 0}},
+		{"trunc_taskend_missing", []trace.Kind{I, P, T, R}, []int{3, 0, 0, 0}},
+		{"trunc_mid_task_preempt", []trace.Kind{I, P, T, R, I, T}, []int{3, 0, 0, 0, 4, 0}},
+		{"trunc_nested_open", []trace.Kind{I, I}, []int{3, 4}},
+		{"malformed_run_in_handler", []trace.Kind{I, R}, []int{3, 0}},
+		{"malformed_nested", []trace.Kind{I, T, I, I, R}, []int{3, 0, 4, 5, 0}},
+	}
+	for _, tc := range cases {
+		checkStreamEquivalence(t, tc.name, handBuilt(tc.kinds, tc.args))
+	}
+}
+
+// TestStreamerLiveMatchesReplay checks that feeding markers through a live
+// recorder sink (discarding the materialized trace) produces exactly what
+// Replay over the materialized trace of the same run produces.
+func TestStreamerLiveMatchesReplay(t *testing.T) {
+	nt := handBuilt(
+		[]trace.Kind{trace.Int, trace.PostTask, trace.Reti, trace.RunTask, trace.PostTask, trace.TaskEnd, trace.RunTask, trace.TaskEnd},
+		[]int{3, 0, 0, 0, 1, 0, 1, 1},
+	)
+	// "Live" = drive OnMark directly with recorder-style scratch reuse:
+	// one dense array and touched list recycled across markers.
+	live := lifecycle.NewStreamer(nt.NodeID, nil)
+	counts := make([]uint32, nt.ProgramLen)
+	var touched []uint16
+	for _, m := range nt.Markers {
+		touched = touched[:0]
+		for _, d := range m.Deltas {
+			if counts[d.PC] == 0 {
+				touched = append(touched, d.PC)
+			}
+			counts[d.PC] += d.Count
+		}
+		live.OnMark(m.Kind, m.Arg, m.Cycle, -1, touched, counts)
+		for _, pc := range touched {
+			counts[pc] = 0
+		}
+	}
+	liveIvs, liveCnt, err := live.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repIvs, repCnt, err := lifecycle.Replay(nt, &lifecycle.ScratchPool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(liveIvs, repIvs) || !reflect.DeepEqual(liveCnt, repCnt) {
+		t.Fatalf("live sink and Replay diverge:\nlive: %+v %+v\nrep:  %+v %+v", liveIvs, liveCnt, repIvs, repCnt)
+	}
+}
+
+// TestScratchPoolRecycles pins the pool invariant: buffers come back
+// all-zero and are reused across streamers without cross-talk.
+func TestScratchPoolRecycles(t *testing.T) {
+	pool := &lifecycle.ScratchPool{}
+	nt := handBuilt(
+		[]trace.Kind{trace.Int, trace.PostTask, trace.Reti, trace.RunTask, trace.TaskEnd},
+		[]int{3, 0, 0, 0, 0},
+	)
+	var first []lifecycle.Interval
+	var firstCnt interface{}
+	for round := 0; round < 4; round++ {
+		ivs, cnt, err := lifecycle.Replay(nt, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 {
+			first, firstCnt = ivs, cnt
+			continue
+		}
+		if !reflect.DeepEqual(ivs, first) || !reflect.DeepEqual(cnt, firstCnt) {
+			t.Fatalf("round %d diverges after pool reuse", round)
+		}
+	}
+}
+
+// TestStreamerKeepFiltersOutput pins the IRQ filter: a streamer restricted
+// with Keep produces exactly the kept-IRQ subset of the unfiltered output
+// (same Seq numbering, same counters), while the other intervals never
+// reach the result.
+func TestStreamerKeepFiltersOutput(t *testing.T) {
+	P, R, I, T, E := trace.PostTask, trace.RunTask, trace.Int, trace.Reti, trace.TaskEnd
+	cases := []struct {
+		name  string
+		kinds []trace.Kind
+		args  []int
+	}{
+		{"preempted_task", []trace.Kind{I, P, T, R, I, T, E}, []int{3, 0, 0, 0, 4, 0, 0}},
+		{"interleaved", []trace.Kind{I, P, T, I, P, T, R, E, R, E}, []int{3, 0, 0, 4, 1, 0, 0, 0, 1, 1}},
+		{"nested_handlers", []trace.Kind{I, I, T, P, T, R, E}, []int{3, 4, 0, 0, 0, 0, 0}},
+		{"trunc_mid_task_preempt", []trace.Kind{I, P, T, R, I, T}, []int{3, 0, 0, 0, 4, 0}},
+		{"same_irq_twice", []trace.Kind{I, T, I, P, T, R, E}, []int{3, 0, 3, 0, 0, 0, 0}},
+	}
+	for _, tc := range cases {
+		nt := handBuilt(tc.kinds, tc.args)
+		allIvs, allCnt, err := lifecycle.Replay(nt, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var wantIvs []lifecycle.Interval
+		var wantCnt []interface{}
+		for i, iv := range allIvs {
+			if iv.IRQ == 3 {
+				wantIvs = append(wantIvs, iv)
+				wantCnt = append(wantCnt, allCnt[i])
+			}
+		}
+		kept := lifecycle.NewStreamer(nt.NodeID, &lifecycle.ScratchPool{}).Keep(3)
+		counts := make([]uint32, nt.ProgramLen)
+		var touched []uint16
+		for _, m := range nt.Markers {
+			touched = touched[:0]
+			for _, d := range m.Deltas {
+				if counts[d.PC] == 0 {
+					touched = append(touched, d.PC)
+				}
+				counts[d.PC] += d.Count
+			}
+			kept.OnMark(m.Kind, m.Arg, m.Cycle, -1, touched, counts)
+			for _, pc := range touched {
+				counts[pc] = 0
+			}
+		}
+		gotIvs, gotCnt, err := kept.Finalize()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(gotIvs) != len(wantIvs) {
+			t.Fatalf("%s: kept %d intervals, want %d", tc.name, len(gotIvs), len(wantIvs))
+		}
+		for i := range wantIvs {
+			if !reflect.DeepEqual(gotIvs[i], wantIvs[i]) {
+				t.Errorf("%s: interval %d:\n got: %+v\nwant: %+v", tc.name, i, gotIvs[i], wantIvs[i])
+			}
+			if !reflect.DeepEqual(gotCnt[i], wantCnt[i]) {
+				t.Errorf("%s: interval %d counter:\n got: %+v\nwant: %+v", tc.name, i, gotCnt[i], wantCnt[i])
+			}
+		}
+	}
+}

@@ -133,7 +133,7 @@ func New(prog *isa.Program, bus Bus, rec Recorder) *CPU {
 		SP:   isa.RAMSize - 1,
 		bus:  bus,
 		rec:  rec,
-		code: predecode(prog),
+		code: predecodeShared(prog),
 	}
 	if dr, ok := rec.(DenseRecorder); ok {
 		if d := dr.Dense(); len(d.Counts) == len(c.code) {

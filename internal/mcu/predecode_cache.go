@@ -1,0 +1,90 @@
+package mcu
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sentomist/internal/isa"
+)
+
+// Shared predecode cache. A campaign fans out many simulations of the same
+// binaries — the five Case-I sweeps share one sensor program per period,
+// Case III runs eight sources off one image, and every run re-assembles its
+// source into a fresh *isa.Program — so keying by pointer would miss
+// exactly the reuse that matters. Instead the decoded []dec is keyed by
+// program *content* (FNV-1a over the encoded instruction words). A dec
+// array is immutable after predecode, so concurrent CPUs share one image
+// safely.
+//
+// Hash collisions are handled, not assumed away: a hit is verified by
+// comparing the full instruction slice, and a mismatch falls back to a
+// private decode. The cache is bounded — randomized soak workloads
+// generate unbounded distinct programs — by flushing wholesale when it
+// exceeds predecodeCacheMax entries (cheap, and a flush only costs
+// re-decoding on the next miss).
+const predecodeCacheMax = 128
+
+var (
+	predecodeCache sync.Map // uint64 → *predecodeEntry
+	predecodeCount atomic.Int64
+)
+
+type predecodeEntry struct {
+	code []isa.Instr
+	dec  []dec
+}
+
+func programHash(code []isa.Instr) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(len(code))) * prime64
+	for _, in := range code {
+		h = (h ^ uint64(in.Encode())) * prime64
+	}
+	return h
+}
+
+func sameCode(a, b []isa.Instr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) > 0 && &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// predecodeShared returns the decoded form of p, shared across all CPUs
+// running a binary with identical code.
+func predecodeShared(p *isa.Program) []dec {
+	h := programHash(p.Code)
+	if v, ok := predecodeCache.Load(h); ok {
+		e := v.(*predecodeEntry)
+		if sameCode(e.code, p.Code) {
+			return e.dec
+		}
+		// Hash collision: serve a private decode; the first image keeps
+		// the slot.
+		return predecode(p)
+	}
+	d := predecode(p)
+	if predecodeCount.Load() >= predecodeCacheMax {
+		predecodeCache.Range(func(k, _ any) bool {
+			predecodeCache.Delete(k)
+			return true
+		})
+		predecodeCount.Store(0)
+	}
+	if _, loaded := predecodeCache.LoadOrStore(h, &predecodeEntry{code: p.Code, dec: d}); !loaded {
+		predecodeCount.Add(1)
+	}
+	return d
+}

@@ -1,0 +1,64 @@
+package mcu
+
+import (
+	"testing"
+
+	"sentomist/internal/isa"
+)
+
+func cacheProg(n int, seed uint8) *isa.Program {
+	code := make([]isa.Instr, n)
+	for i := range code {
+		code[i] = isa.Instr{Op: isa.LDI, A: uint8(i) + seed, Imm: uint16(i)}
+	}
+	return &isa.Program{Code: code}
+}
+
+// TestPredecodeSharedReuse: two programs with identical code — distinct
+// slices, as every assembly produces — must share one decoded image.
+func TestPredecodeSharedReuse(t *testing.T) {
+	a := predecodeShared(cacheProg(40, 1))
+	b := predecodeShared(cacheProg(40, 1))
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("empty decode")
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("identical programs decoded to distinct images: cache miss")
+	}
+	c := predecodeShared(cacheProg(40, 2))
+	if len(c) > 0 && len(a) > 0 && &c[0] == &a[0] {
+		t.Fatal("different programs share a decoded image")
+	}
+}
+
+// TestPredecodeSharedMatchesPrivate: the shared path must decode exactly
+// what the private path decodes.
+func TestPredecodeSharedMatchesPrivate(t *testing.T) {
+	p := cacheProg(64, 7)
+	shared := predecodeShared(p)
+	private := predecode(p)
+	if len(shared) != len(private) {
+		t.Fatalf("%d shared vs %d private entries", len(shared), len(private))
+	}
+	for i := range shared {
+		if shared[i] != private[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, shared[i], private[i])
+		}
+	}
+}
+
+// TestPredecodeCacheBound: inserting past the bound flushes rather than
+// growing without limit, and the cache keeps serving afterwards.
+func TestPredecodeCacheBound(t *testing.T) {
+	for i := 0; i < 3*predecodeCacheMax; i++ {
+		predecodeShared(cacheProg(8, uint8(i)))
+	}
+	if n := predecodeCount.Load(); n > predecodeCacheMax {
+		t.Fatalf("cache holds %d entries, bound is %d", n, predecodeCacheMax)
+	}
+	a := predecodeShared(cacheProg(16, 200))
+	b := predecodeShared(cacheProg(16, 200))
+	if &a[0] != &b[0] {
+		t.Fatal("cache stopped serving after flush")
+	}
+}

@@ -57,8 +57,24 @@ type MAC struct {
 	// for half-duplex reception checks.
 	airingUntil uint64
 
+	// Hot callbacks, bound once at registration: method values allocate a
+	// closure per binding, and these fire on every frame exchange.
+	backoffDoneFn, handshakeFailedFn, finishOKFn  func(uint64)
+	sendCTSFn, sendDataFn, sendACKFn, releaseRxFn func(uint64)
+
 	// Stats, readable by tests and experiments.
 	Sent, Delivered, Failed, Rejected int
+}
+
+// bind creates the MAC's reusable callback values. Called once by NewMAC.
+func (m *MAC) bind() {
+	m.backoffDoneFn = m.backoffDone
+	m.handshakeFailedFn = m.handshakeFailed
+	m.finishOKFn = func(uint64) { m.finish(txOK) }
+	m.sendCTSFn = m.sendCTS
+	m.sendDataFn = m.sendData
+	m.sendACKFn = m.sendACK
+	m.releaseRxFn = m.releaseRx
 }
 
 // SetClient wires the radio front end above the MAC.
@@ -106,24 +122,12 @@ func (m *MAC) Submit(now uint64, dst int, payload []byte) bool {
 
 // afterTx schedules fn unless the transmit side has moved on by then.
 func (m *MAC) afterTx(now, delay uint64, fn func(now uint64)) {
-	gen := m.txGen
-	m.net.schedule(now+delay, func(at uint64) {
-		if m.txGen != gen {
-			return
-		}
-		fn(at)
-	})
+	m.net.scheduleGuarded(now+delay, &m.txGen, m.txGen, fn)
 }
 
 // afterRx schedules fn unless the receive side has moved on by then.
 func (m *MAC) afterRx(now, delay uint64, fn func(now uint64)) {
-	gen := m.rxGen
-	m.net.schedule(now+delay, func(at uint64) {
-		if m.rxGen != gen {
-			return
-		}
-		fn(at)
-	})
+	m.net.scheduleGuarded(now+delay, &m.rxGen, m.rxGen, fn)
 }
 
 func (m *MAC) setTx(s txState) {
@@ -139,7 +143,7 @@ func (m *MAC) setRx(s rxState) {
 func (m *MAC) enterBackoff(now uint64) {
 	m.setTx(txBackoff)
 	slots := uint64(m.rng.Intn(BackoffWindow) + 1)
-	m.afterTx(now, slots*BackoffSlot, m.backoffDone)
+	m.afterTx(now, slots*BackoffSlot, m.backoffDoneFn)
 }
 
 func (m *MAC) backoffDone(now uint64) {
@@ -155,13 +159,13 @@ func (m *MAC) backoffDone(now uint64) {
 	if m.dst == Broadcast {
 		m.setTx(txBcast)
 		tx := m.airOwn(now, frame{kind: frameData, src: m.id, dst: Broadcast, payload: m.payload})
-		m.afterTx(now, tx.end-now, func(at uint64) { m.finish(txOK) })
+		m.afterTx(now, tx.end-now, m.finishOKFn)
 		return
 	}
 	m.setTx(txWaitCTS)
 	rts := m.airOwn(now, frame{kind: frameRTS, src: m.id, dst: m.dst})
 	timeout := (rts.end - now) + TurnaroundGap + ControlBytes*CyclesPerByte + TimeoutSlack
-	m.afterTx(now, timeout, m.handshakeFailed)
+	m.afterTx(now, timeout, m.handshakeFailedFn)
 }
 
 func (m *MAC) handshakeFailed(now uint64) {
@@ -205,24 +209,15 @@ func (m *MAC) onFrame(now uint64, f frame) {
 		}
 		m.setRx(rxReserved)
 		m.rxPeer = f.src
-		m.afterRx(now, TurnaroundGap, func(at uint64) {
-			m.airOwn(at, frame{kind: frameCTS, src: m.id, dst: m.rxPeer})
-		})
-		m.afterRx(now, ReserveTimeout, func(at uint64) {
-			// DATA never came; release the reservation.
-			m.setRx(rxIdle)
-		})
+		m.afterRx(now, TurnaroundGap, m.sendCTSFn)
+		// If DATA never comes, release the reservation.
+		m.afterRx(now, ReserveTimeout, m.releaseRxFn)
 	case frameCTS:
 		if m.tx != txWaitCTS || f.src != m.dst {
 			return
 		}
 		m.setTx(txSendingData)
-		m.afterTx(now, TurnaroundGap, func(at uint64) {
-			tx := m.airOwn(at, frame{kind: frameData, src: m.id, dst: m.dst, payload: m.payload})
-			m.setTx(txWaitACK)
-			timeout := (tx.end - at) + TurnaroundGap + ControlBytes*CyclesPerByte + TimeoutSlack
-			m.afterTx(at, timeout, m.handshakeFailed)
-		})
+		m.afterTx(now, TurnaroundGap, m.sendDataFn)
 	case frameData:
 		if f.dst == Broadcast {
 			m.deliver(now, f)
@@ -234,14 +229,9 @@ func (m *MAC) onFrame(now uint64, f frame) {
 		// Accept DATA whether or not we granted an RTS (the sender may
 		// have retried past our reservation timeout).
 		m.deliver(now, f)
-		peer := f.src
+		m.rxPeer = f.src
 		m.setRx(rxAcking)
-		m.afterRx(now, TurnaroundGap, func(at uint64) {
-			tx := m.airOwn(at, frame{kind: frameACK, src: m.id, dst: peer})
-			m.afterRx(at, tx.end-at, func(uint64) {
-				m.setRx(rxIdle)
-			})
-		})
+		m.afterRx(now, TurnaroundGap, m.sendACKFn)
 	case frameACK:
 		if m.tx != txWaitACK || f.src != m.dst {
 			return
@@ -249,6 +239,31 @@ func (m *MAC) onFrame(now uint64, f frame) {
 		m.finish(txOK)
 	}
 }
+
+// sendCTS grants the reservation to the peer recorded at RTS time.
+func (m *MAC) sendCTS(at uint64) {
+	m.airOwn(at, frame{kind: frameCTS, src: m.id, dst: m.rxPeer})
+}
+
+// sendData airs the DATA frame after the post-CTS turnaround and arms the
+// ACK timeout.
+func (m *MAC) sendData(at uint64) {
+	tx := m.airOwn(at, frame{kind: frameData, src: m.id, dst: m.dst, payload: m.payload})
+	m.setTx(txWaitACK)
+	timeout := (tx.end - at) + TurnaroundGap + ControlBytes*CyclesPerByte + TimeoutSlack
+	m.afterTx(at, timeout, m.handshakeFailedFn)
+}
+
+// sendACK acknowledges the DATA frame just delivered and returns the
+// receive side to idle once the ACK leaves the air. rxPeer cannot change
+// underneath the pending callback: only an RTS on an idle receive side
+// rewrites it, and the side stays rxAcking until releaseRx fires.
+func (m *MAC) sendACK(at uint64) {
+	tx := m.airOwn(at, frame{kind: frameACK, src: m.id, dst: m.rxPeer})
+	m.afterRx(at, tx.end-at, m.releaseRxFn)
+}
+
+func (m *MAC) releaseRx(uint64) { m.setRx(rxIdle) }
 
 func (m *MAC) deliver(now uint64, f frame) {
 	payload := make([]byte, len(f.payload))

@@ -111,11 +111,24 @@ const (
 	txNoAck = 1
 )
 
-// event is a scheduled network action.
+// event is a scheduled network action: either a frame delivery (tx set) or
+// a callback, optionally guarded by a generation counter — the callback
+// fires only if *guard still holds the generation it was scheduled with.
+// Carrying the guard in the event rather than closing over it keeps the
+// hot scheduling paths allocation-free (events and transmissions recycle
+// on per-network freelists).
 type event struct {
 	at  uint64
 	seq uint64
-	fn  func(now uint64)
+
+	fn    func(now uint64)
+	guard *uint64
+	gen   uint64
+
+	// Delivery fields, used when tx != nil (fn is nil then).
+	tx   *transmission
+	dst  *MAC
+	lost bool
 }
 
 type eventQueue []*event
@@ -142,6 +155,7 @@ func (q *eventQueue) Pop() any {
 type Network struct {
 	rng   *randx.RNG
 	macs  map[int]*MAC
+	ids   []int              // registered node IDs, sorted (deterministic receiver order)
 	loss  map[[2]int]float64 // directed link -> loss probability; absent = no link
 	queue eventQueue
 	seq   uint64
@@ -149,6 +163,9 @@ type Network struct {
 
 	onAir      []*transmission
 	deliveries []Delivery
+
+	freeEvents []*event
+	freeTx     []*transmission
 }
 
 // NewNetwork creates an empty network drawing randomness from rng.
@@ -179,7 +196,10 @@ func (n *Network) NewMAC(id int) *MAC {
 		panic(fmt.Sprintf("medium: duplicate MAC for node %d", id))
 	}
 	m := &MAC{net: n, id: id, rng: n.rng.Split(uint64(id) + 1)}
+	m.bind()
 	n.macs[id] = m
+	n.ids = append(n.ids, id)
+	sort.Ints(n.ids)
 	return m
 }
 
@@ -202,7 +222,9 @@ func (n *Network) Advance(cycle uint64) {
 		if e.at > n.now {
 			n.now = e.at
 		}
-		e.fn(e.at)
+		n.fire(e)
+		*e = event{}
+		n.freeEvents = append(n.freeEvents, e)
 	}
 	if cycle > n.now {
 		n.now = cycle
@@ -210,18 +232,78 @@ func (n *Network) Advance(cycle uint64) {
 	n.pruneAir(cycle)
 }
 
-func (n *Network) schedule(at uint64, fn func(now uint64)) {
+// fire dispatches one popped event. A delivery event re-checks channel
+// conditions at fire time (collision, half-duplex) exactly as the former
+// per-receiver closures did; a guarded callback is dropped when its side's
+// generation moved on.
+func (n *Network) fire(e *event) {
+	if e.tx != nil {
+		if e.lost {
+			return
+		}
+		if n.collided(e.tx, e.dst.id) {
+			return
+		}
+		if e.dst.airingUntil > e.tx.start {
+			// Receiver was transmitting during (part of) the frame:
+			// half-duplex radios miss it.
+			return
+		}
+		e.dst.onFrame(e.at, e.tx.f)
+		return
+	}
+	if e.guard != nil && *e.guard != e.gen {
+		return
+	}
+	e.fn(e.at)
+}
+
+// newEvent takes an event from the freelist (or allocates one) and stamps
+// it with the scheduling time and the global tiebreak sequence.
+func (n *Network) newEvent(at uint64) *event {
+	var e *event
+	if k := len(n.freeEvents); k > 0 {
+		e = n.freeEvents[k-1]
+		n.freeEvents = n.freeEvents[:k-1]
+	} else {
+		e = &event{}
+	}
 	n.seq++
-	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
+	e.at, e.seq = at, n.seq
+	return e
+}
+
+func (n *Network) schedule(at uint64, fn func(now uint64)) {
+	e := n.newEvent(at)
+	e.fn = fn
+	heap.Push(&n.queue, e)
+}
+
+// scheduleGuarded schedules fn to fire only if *guard still equals gen.
+func (n *Network) scheduleGuarded(at uint64, guard *uint64, gen uint64, fn func(now uint64)) {
+	e := n.newEvent(at)
+	e.fn, e.guard, e.gen = fn, guard, gen
+	heap.Push(&n.queue, e)
+}
+
+func (n *Network) scheduleDelivery(at uint64, tx *transmission, dst *MAC, lost bool) {
+	e := n.newEvent(at)
+	e.tx, e.dst, e.lost = tx, dst, lost
+	heap.Push(&n.queue, e)
 }
 
 func (n *Network) pruneAir(now uint64) {
 	kept := n.onAir[:0]
 	for _, t := range n.onAir {
 		// Keep a transmission around for one extra airtime so the
-		// collision check of late-overlapping frames still sees it.
+		// collision check of late-overlapping frames still sees it. Once
+		// invisible, no event can reference it anymore (its delivery fires
+		// at t.end, strictly inside the visibility window), so it recycles.
 		if t.end+t.end-t.start >= now {
 			kept = append(kept, t)
+		} else {
+			*t = transmission{}
+			n.freeTx = append(n.freeTx, t)
 		}
 	}
 	n.onAir = kept
@@ -255,15 +337,16 @@ func (n *Network) carrierBusyAt(id int, t uint64) bool {
 // the loss draws consume the shared random stream, so iteration order must
 // be deterministic or runs would not replay.
 func (n *Network) air(now uint64, f frame) *transmission {
-	tx := &transmission{f: f, start: now, end: now + f.airtime()}
-	n.onAir = append(n.onAir, tx)
-	ids := make([]int, 0, len(n.macs))
-	for id := range n.macs {
-		ids = append(ids, id)
+	var tx *transmission
+	if k := len(n.freeTx); k > 0 {
+		tx = n.freeTx[k-1]
+		n.freeTx = n.freeTx[:k-1]
+	} else {
+		tx = &transmission{}
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		m := n.macs[id]
+	tx.f, tx.start, tx.end = f, now, now+f.airtime()
+	n.onAir = append(n.onAir, tx)
+	for _, id := range n.ids {
 		if id == f.src {
 			continue
 		}
@@ -277,22 +360,10 @@ func (n *Network) air(now uint64, f frame) *transmission {
 		if !audible {
 			continue
 		}
-		mac := m
-		lost := n.rng.Bool(p)
-		n.schedule(tx.end, func(at uint64) {
-			if lost {
-				return
-			}
-			if n.collided(tx, mac.id) {
-				return
-			}
-			if mac.airingUntil > tx.start {
-				// Receiver was transmitting during (part of) the
-				// frame: half-duplex radios miss it.
-				return
-			}
-			mac.onFrame(at, tx.f)
-		})
+		// A lost frame still draws from the shared stream (replay
+		// determinism) and still schedules, so event ordering is
+		// unchanged; the delivery is simply dropped at fire time.
+		n.scheduleDelivery(tx.end, tx, n.macs[id], n.rng.Bool(p))
 	}
 	return tx
 }

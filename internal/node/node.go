@@ -92,6 +92,14 @@ type Config struct {
 	// is differentially tested against, and is slower by an order of
 	// magnitude; leave it off outside equivalence harnesses.
 	SingleStep bool
+	// Sink, when set, streams every lifecycle marker (with its
+	// instruction-count delta) to an online consumer as it is recorded —
+	// the hook the streaming featuring pipeline uses.
+	Sink trace.StreamSink
+	// DiscardMarkers drops markers instead of materializing them into
+	// the trace; combined with Sink this is the single-pass,
+	// allocation-lean record mode (the trace stays empty).
+	DiscardMarkers bool
 }
 
 // New creates a node. The program must validate.
@@ -107,6 +115,9 @@ func New(cfg Config) (*Node, error) {
 		sequential: cfg.Sequential,
 		singleStep: cfg.SingleStep,
 		rec:        trace.NewRecorder(cfg.ID, len(cfg.Program.Code), cfg.Truth),
+	}
+	if cfg.Sink != nil || cfg.DiscardMarkers {
+		n.rec.SetSink(cfg.Sink, cfg.DiscardMarkers)
 	}
 	n.cpu = mcu.New(cfg.Program, (*bus)(n), n.rec)
 	for addr, v := range cfg.RAMInit {
@@ -160,6 +171,11 @@ func (n *Node) CPU() *mcu.CPU { return n.cpu }
 
 // Trace returns the node's recorded trace so far.
 func (n *Node) Trace() *trace.NodeTrace { return n.rec.Finish() }
+
+// Release returns the recorder's dense counter scratch to the trace
+// package's pool. The node must not advance afterwards; its trace (and
+// any streamed output) is unaffected.
+func (n *Node) Release() { n.rec.Release() }
 
 // QueueLen returns the current task-queue depth.
 func (n *Node) QueueLen() int { return len(n.queue) }

@@ -16,7 +16,10 @@
 // procedure instances — the overlap the paper exploits.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind enumerates marker kinds.
 type Kind uint8
@@ -103,6 +106,10 @@ type NodeTrace struct {
 	// paper's black-box interval identification matches reality; the
 	// analyzer itself never reads it.
 	TruthInstance []int
+
+	// arenas holds the delta-arena chunks the markers' Deltas alias, so
+	// Release can return them to the pool in one sweep.
+	arenas [][]Delta
 }
 
 // Trace is a whole test run: one NodeTrace per node.
@@ -174,6 +181,126 @@ func (t *Trace) SizeBytes() int {
 	return size
 }
 
+// StreamSink consumes lifecycle markers as the recorder emits them — the
+// hook the streaming featuring path hangs off. OnMark is called once per
+// marker, before the recorder snapshots (or discards) the accumulated
+// delta: touched lists the PCs executed since the previous marker in
+// first-touch order, and counts is the recorder's full dense counter
+// (len == ProgramLen), nonzero exactly at the touched PCs. Both slices are
+// the recorder's scratch — valid only for the duration of the call.
+// instance is the ground-truth event-procedure instance ID, or -1 when the
+// recorder does not record truth.
+type StreamSink interface {
+	OnMark(kind Kind, arg int, cycle uint64, instance int, touched []uint16, counts []uint32)
+}
+
+// Storage pools. Recorders draw their dense counter scratch, marker
+// storage, and delta arenas from these, and Recorder.Release /
+// NodeTrace.Release return them, so campaign-style workloads that run many
+// simulations recycle the big per-run allocations instead of re-growing
+// them. Pool invariant: a released dense buffer is all-zero over its full
+// capacity (Release zeroes the touched entries; make zeroes fresh ones),
+// so acquisition never rescans.
+var (
+	densePool  sync.Pool // *denseBuf
+	markerPool sync.Pool // *[]Marker
+	truthPool  sync.Pool // *[]int
+	arenaPool  sync.Pool // *[]Delta, cap == arenaChunk
+)
+
+const arenaChunk = 4096
+
+type denseBuf struct {
+	counts  []uint32
+	touched []uint16
+}
+
+func getDense(programLen int) *denseBuf {
+	if b, _ := densePool.Get().(*denseBuf); b != nil && cap(b.counts) >= programLen {
+		b.counts = b.counts[:programLen]
+		b.touched = b.touched[:0]
+		return b
+	}
+	return &denseBuf{counts: make([]uint32, programLen)}
+}
+
+func getMarkerSlice() []Marker {
+	if p, _ := markerPool.Get().(*[]Marker); p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putMarkerSlice(ms []Marker) {
+	if cap(ms) == 0 {
+		return
+	}
+	ms = ms[:cap(ms)]
+	clear(ms) // drop the Delta references so the pool retains no arenas
+	ms = ms[:0]
+	markerPool.Put(&ms)
+}
+
+func getTruthSlice() []int {
+	if p, _ := truthPool.Get().(*[]int); p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putTruthSlice(ts []int) {
+	if cap(ts) == 0 {
+		return
+	}
+	ts = ts[:0]
+	truthPool.Put(&ts)
+}
+
+func getArena(n int) []Delta {
+	if n <= arenaChunk {
+		if p, _ := arenaPool.Get().(*[]Delta); p != nil {
+			return (*p)[:0]
+		}
+		return make([]Delta, 0, arenaChunk)
+	}
+	return make([]Delta, 0, n)
+}
+
+func putArena(a []Delta) {
+	if cap(a) != arenaChunk {
+		return
+	}
+	a = a[:0]
+	arenaPool.Put(&a)
+}
+
+// Release returns the node trace's marker, truth, and delta-arena storage
+// to the package pools. Every view into the trace — Markers, their Deltas,
+// intervals featured from them — is invalid afterwards; call it only when
+// the trace is fully consumed. Safe to call more than once.
+func (n *NodeTrace) Release() {
+	for _, a := range n.arenas {
+		putArena(a)
+	}
+	n.arenas = nil
+	if n.Markers != nil {
+		putMarkerSlice(n.Markers)
+		n.Markers = nil
+	}
+	if n.TruthInstance != nil {
+		putTruthSlice(n.TruthInstance)
+		n.TruthInstance = nil
+	}
+}
+
+// Release recycles the storage of every node trace; see NodeTrace.Release
+// for the invalidation contract.
+func (t *Trace) Release() {
+	for _, n := range t.Nodes {
+		n.Release()
+	}
+}
+
 // Dense is a recorder's dense per-PC counter state. The MCU's block
 // executor increments Counts and appends to Touched in place (via
 // Recorder.Dense), skipping any per-instruction call overhead; Touched
@@ -198,27 +325,66 @@ func (d *Dense) Count(pc uint16) {
 type Recorder struct {
 	nt    *NodeTrace
 	d     Dense
+	buf   *denseBuf
 	truth bool
 	minSP uint16
 	// arena is the backing store markers' Deltas are carved from, so Mark
 	// amortizes one large allocation over many markers instead of
 	// allocating a fresh slice per marker.
 	arena []Delta
+	// sink, when set, observes every marker before it is materialized.
+	sink StreamSink
+	// discard drops markers instead of materializing them: the recorder
+	// keeps its dense counter cycle (and feeds the sink) but the trace
+	// stays empty — the memory-light mode of the streaming pipeline.
+	discard bool
 }
 
 // NewRecorder creates a recorder for a node executing a program of
 // programLen instructions. When truth is set, ground-truth instance IDs are
 // recorded alongside markers.
 func NewRecorder(nodeID, programLen int, truth bool) *Recorder {
+	buf := getDense(programLen)
 	return &Recorder{
 		nt: &NodeTrace{
 			NodeID:     nodeID,
 			ProgramLen: programLen,
+			Markers:    getMarkerSlice(),
 		},
-		d:     Dense{Counts: make([]uint32, programLen)},
+		d:     Dense{Counts: buf.counts, Touched: buf.touched},
+		buf:   buf,
 		truth: truth,
 		minSP: 0xffff,
 	}
+}
+
+// Release zeroes the recorder's dense counter scratch and returns it to
+// the package pool. The node trace (Finish) is unaffected, but the
+// recorder — and the CPU counting into it — must not run afterwards. Safe
+// to call more than once.
+func (r *Recorder) Release() {
+	if r.buf == nil {
+		return
+	}
+	for _, pc := range r.d.Touched {
+		r.d.Counts[pc] = 0
+	}
+	r.buf.counts = r.d.Counts
+	r.buf.touched = r.d.Touched[:0]
+	densePool.Put(r.buf)
+	r.buf = nil
+	r.d = Dense{}
+}
+
+// SetSink installs a streaming consumer called on every Mark, and selects
+// whether markers are still materialized into the node trace. With
+// discardMarkers set the trace stays empty: the sink (online anatomizer)
+// is the only consumer. A nil sink with discardMarkers drops the node's
+// markers entirely (useful for unmonitored nodes in campaign runs). Call
+// before the run starts.
+func (r *Recorder) SetSink(sink StreamSink, discardMarkers bool) {
+	r.sink = sink
+	r.discard = discardMarkers
 }
 
 // Dense exposes the recorder's dense counter for in-place updates by the
@@ -255,14 +421,26 @@ func (r *Recorder) CountPCs(pcs []uint16) {
 // (use -1 when unknown); it is stored only when the recorder was created
 // with truth recording enabled.
 func (r *Recorder) Mark(kind Kind, arg int, cycle uint64, instance int) {
+	if r.sink != nil {
+		inst := instance
+		if !r.truth {
+			inst = -1
+		}
+		r.sink.OnMark(kind, arg, cycle, inst, r.d.Touched, r.d.Counts)
+	}
+	if r.discard {
+		for _, pc := range r.d.Touched {
+			r.d.Counts[pc] = 0
+		}
+		r.d.Touched = r.d.Touched[:0]
+		r.minSP = 0xffff
+		return
+	}
 	var deltas []Delta
 	if n := len(r.d.Touched); n > 0 {
 		if len(r.arena)+n > cap(r.arena) {
-			size := 4096
-			if n > size {
-				size = n
-			}
-			r.arena = make([]Delta, 0, size)
+			r.arena = getArena(n)
+			r.nt.arenas = append(r.nt.arenas, r.arena)
 		}
 		start := len(r.arena)
 		for _, pc := range r.d.Touched {

@@ -41,6 +41,7 @@ import (
 
 	"sentomist/internal/apps"
 	"sentomist/internal/bundle"
+	"sentomist/internal/campaign"
 	"sentomist/internal/core"
 	"sentomist/internal/isa"
 	"sentomist/internal/lifecycle"
@@ -99,6 +100,50 @@ const (
 // over one or more testing runs.
 func Mine(runs []RunInput, cfg MineConfig) (*Ranking, error) {
 	return core.Mine(runs, cfg)
+}
+
+// Streaming pipeline (online anatomize + feature during recording).
+type (
+	// StreamSink receives lifecycle markers as the recorder emits them;
+	// lifecycle.Streamer is the online anatomizer implementation. Wire
+	// one into NodeSpec.Stream (or a case config's Stream map) to
+	// feature a node without materializing its marker trace.
+	StreamSink = trace.StreamSink
+	// Streamer is the online anatomizer: it advances the interval
+	// pushdown automaton on every marker and accumulates each
+	// interval's instruction counter in place.
+	Streamer = lifecycle.Streamer
+	// CampaignConfig selects what a streamed campaign mines and how
+	// wide it fans out.
+	CampaignConfig = campaign.Config
+	// CampaignAttach creates the online anatomizer for one monitored
+	// node inside a CampaignRun.
+	CampaignAttach = campaign.Attach
+	// CampaignRun executes one testing run of a campaign.
+	CampaignRun = campaign.RunFunc
+	// MineBatch is one run's streamed intervals and counters.
+	MineBatch = core.Batch
+)
+
+// NewStreamer creates an online anatomizer for nodeID; a nil pool
+// allocates counter scratch unpooled.
+func NewStreamer(nodeID int, pool *lifecycle.ScratchPool) *Streamer {
+	return lifecycle.NewStreamer(nodeID, pool)
+}
+
+// MineCampaign fans the runs over a bounded worker pool, featuring each
+// run online through attached Streamers, and ranks the streamed batches.
+// The ranking is bit-identical to materializing every trace and calling
+// Mine.
+func MineCampaign(cfg CampaignConfig, runs []CampaignRun) (*Ranking, error) {
+	return campaign.Mine(cfg, runs)
+}
+
+// MineBatches ranks pre-featured interval batches — the detect → rank
+// tail of the pipeline, for batches produced by Streamers outside
+// MineCampaign.
+func MineBatches(batches []MineBatch, cfg MineConfig) (*Ranking, error) {
+	return core.MineBatches(batches, cfg)
 }
 
 // OneClassSVM returns the paper's default detector with the given ν
