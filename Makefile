@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all golden clean
+.PHONY: all build test race vet bench bench-svm bench-all golden clean
 
 all: build vet test
 
@@ -21,6 +21,13 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkMine|BenchmarkSVMTrain|BenchmarkCounterSparse|BenchmarkSimulateCaseI|BenchmarkPipelineCaseI' -benchmem .
 	$(GO) test -run xxx -bench . -benchmem ./internal/svm/ ./internal/feature/
 	$(GO) test -run xxx -bench . -benchmem ./internal/mcu/ ./internal/sim/ ./internal/apps/
+
+# The mining-at-scale benchmarks behind BENCH_PR4.json: blocked sparse
+# kernels, training across Gram modes, and the l=10k campaign problem
+# (dense vs cached vs cached+shrink; several minutes on one core).
+bench-svm:
+	$(GO) test -run xxx -bench 'BenchmarkSparseOps' -benchmem ./internal/stats/
+	$(GO) test -run xxx -bench 'BenchmarkTrain|BenchmarkKernelEval' -benchmem -timeout 60m ./internal/svm/
 
 # Every benchmark, including the paper-evaluation harness (slow).
 bench-all:

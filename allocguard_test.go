@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"sentomist/internal/experiments"
+	"sentomist/internal/svm"
+	"sentomist/internal/synth"
 )
 
 // Allocation-profile thresholds for the streaming Case-I end-to-end op
@@ -25,6 +27,9 @@ func TestStreamingAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation guard skipped in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts; CI guards allocations in a non-race step")
+	}
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -41,5 +46,52 @@ func TestStreamingAllocBudget(t *testing.T) {
 	}
 	if bytes > maxStreamingBytesPerOp {
 		t.Errorf("B/op regressed: %d > %d (threshold; see BENCH_PR3.json)", bytes, maxStreamingBytesPerOp)
+	}
+}
+
+// Cached-training allocation thresholds: 1500 distinct counters trained
+// through a 4 MiB kernel column cache. The dense Gram at this size is
+// 8·1500² = 18 MB; the cached path's whole-training footprint (columns +
+// solver state + model) measures ~4.6 MB (BENCH_PR4.json), and the ceiling
+// carries headroom for runner variance while staying far under the dense
+// matrix alone.
+const (
+	cachedTrainSamples   = 1500
+	cachedTrainCacheMiB  = 4
+	maxCachedTrainBytes  = 8_000_000
+	maxCachedTrainAllocs = 6_000
+)
+
+// TestCachedTrainingAllocBudget guards the on-demand kernel cache's
+// allocation profile: training at a fixed budget must stay bounded by the
+// budget, not creep back toward materializing the l×l Gram.
+func TestCachedTrainingAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts; CI guards allocations in a non-race step")
+	}
+	samples := synth.LargeCampaign(synth.LargeCampaignConfig{
+		Seed: 11, Samples: cachedTrainSamples, Dim: 512, Distinct: true,
+	})
+	cfg := svm.Config{Nu: 0.05, Gram: svm.GramCached, CacheBytes: cachedTrainCacheMiB << 20}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := svm.TrainSparse(samples, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	allocs := res.AllocsPerOp()
+	bytes := res.AllocedBytesPerOp()
+	t.Logf("cached training (l=%d, %d MiB cache): %d allocs/op, %d B/op over %d op(s)",
+		cachedTrainSamples, cachedTrainCacheMiB, allocs, bytes, res.N)
+	if bytes > maxCachedTrainBytes {
+		t.Errorf("B/op regressed: %d > %d (threshold; see BENCH_PR4.json)", bytes, maxCachedTrainBytes)
+	}
+	if allocs > maxCachedTrainAllocs {
+		t.Errorf("allocs/op regressed: %d > %d (threshold; see BENCH_PR4.json)", allocs, maxCachedTrainAllocs)
 	}
 }

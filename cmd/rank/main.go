@@ -17,30 +17,51 @@ import (
 	"sentomist"
 )
 
+type options struct {
+	irq         int
+	nodesCSV    string
+	detector    string
+	nu          float64
+	top         int
+	bottom      int
+	parallelism int
+	svmCacheMB  int
+	svmShrink   bool
+}
+
 func main() {
-	var (
-		irq      = flag.Int("irq", 0, "event type (interrupt number) to mine: 1=timer0, 2=timer1, 3=adc, 4=radio-rx, 5=txdone")
-		nodes    = flag.String("nodes", "", "comma-separated node IDs to mine (empty = all nodes)")
-		detector = flag.String("detector", "svm", "outlier detector: svm, pca, knn, mahalanobis, kernel-pca")
-		nu       = flag.Float64("nu", 0.05, "one-class SVM nu parameter")
-		top      = flag.Int("top", 10, "rows to print from the top")
-		bottom   = flag.Int("bottom", 2, "rows to print from the bottom")
-	)
+	var opt options
+	flag.IntVar(&opt.irq, "irq", 0, "event type (interrupt number) to mine: 1=timer0, 2=timer1, 3=adc, 4=radio-rx, 5=txdone")
+	flag.StringVar(&opt.nodesCSV, "nodes", "", "comma-separated node IDs to mine (empty = all nodes)")
+	flag.StringVar(&opt.detector, "detector", "svm", "outlier detector: svm, pca, knn, mahalanobis, kernel-pca")
+	flag.Float64Var(&opt.nu, "nu", 0.05, "one-class SVM nu parameter")
+	flag.IntVar(&opt.top, "top", 10, "rows to print from the top")
+	flag.IntVar(&opt.bottom, "bottom", 2, "rows to print from the bottom")
+	flag.IntVar(&opt.parallelism, "parallelism", 0, "worker pool for anatomize/feature and the SVM Gram build (0 = GOMAXPROCS, 1 = sequential); the ranking is identical at any setting")
+	flag.IntVar(&opt.svmCacheMB, "svm-cache-mb", 0, "train the SVM through an on-demand kernel column cache bounded to this many MiB instead of materializing the full Gram matrix (0 = materialize when it fits); the ranking is bit-identical at any budget")
+	flag.BoolVar(&opt.svmShrink, "svm-shrink", false, "enable the SMO shrinking heuristic for large campaigns (same ranking up to the solver tolerance, not bitwise)")
 	flag.Parse()
-	if *irq == 0 || flag.NArg() == 0 {
+	if opt.irq == 0 || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "rank: usage: rank -irq N [-nodes 1,2] trace [trace...]")
 		os.Exit(2)
 	}
-	if err := run(*irq, *nodes, *detector, *nu, *top, *bottom, flag.Args()); err != nil {
+	stop, err := startProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rank:", err)
+		os.Exit(1)
+	}
+	err = run(opt, flag.Args())
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rank:", err)
 		os.Exit(1)
 	}
 }
 
-func run(irq int, nodesCSV, detName string, nu float64, top, bottom int, paths []string) error {
+func run(opt options, paths []string) error {
 	var nodeIDs []int
-	if nodesCSV != "" {
-		for _, part := range strings.Split(nodesCSV, ",") {
+	if opt.nodesCSV != "" {
+		for _, part := range strings.Split(opt.nodesCSV, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				return fmt.Errorf("bad node id %q: %w", part, err)
@@ -48,10 +69,16 @@ func run(irq int, nodesCSV, detName string, nu float64, top, bottom int, paths [
 			nodeIDs = append(nodeIDs, id)
 		}
 	}
+	cacheBytes := int64(opt.svmCacheMB) << 20
 	var det sentomist.Detector
-	switch strings.ToLower(detName) {
+	switch strings.ToLower(opt.detector) {
 	case "svm":
-		det = sentomist.OneClassSVM(nu, nil)
+		det = sentomist.SVMDetector{
+			Nu:          opt.nu,
+			Parallelism: opt.parallelism,
+			CacheBytes:  cacheBytes,
+			Shrinking:   opt.svmShrink,
+		}
 	case "pca":
 		det = sentomist.PCADetector(0)
 	case "knn":
@@ -61,7 +88,7 @@ func run(irq int, nodesCSV, detName string, nu float64, top, bottom int, paths [
 	case "kernel-pca", "kernelpca":
 		det = sentomist.KernelPCADetector(nil, 0)
 	default:
-		return fmt.Errorf("unknown detector %q", detName)
+		return fmt.Errorf("unknown detector %q", opt.detector)
 	}
 
 	var inputs []sentomist.RunInput
@@ -77,16 +104,17 @@ func run(irq int, nodesCSV, detName string, nu float64, top, bottom int, paths [
 		labels = sentomist.LabelNodeSeq
 	}
 	ranking, err := sentomist.Mine(inputs, sentomist.MineConfig{
-		IRQ:      irq,
-		Nodes:    nodeIDs,
-		Detector: det,
-		Labels:   labels,
+		IRQ:         opt.irq,
+		Nodes:       nodeIDs,
+		Detector:    det,
+		Labels:      labels,
+		Parallelism: opt.parallelism,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%d intervals (%d excluded as incomplete), %d dims, detector %s:\n\n",
 		len(ranking.Samples), ranking.Excluded, ranking.Dim, ranking.Detector)
-	fmt.Print(ranking.Table(top, bottom))
+	fmt.Print(ranking.Table(opt.top, opt.bottom))
 	return nil
 }

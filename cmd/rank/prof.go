@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Opt-in profiling flags, for capturing mining-phase profiles (Gram
+// build, SMO, ranking) from the user-facing CLI:
+//
+//	go run ./cmd/rank -irq 4 -cpuprofile cpu.pprof run.trace
+//	go tool pprof cpu.pprof
+var (
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	execTrace  = flag.String("trace", "", "write a runtime execution trace to this file")
+)
+
+// startProfiling begins CPU profiling and execution tracing if requested
+// and returns a function that stops them and writes the heap profile.
+func startProfiling() (func(), error) {
+	var stops []func()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		stops = append(stops, func() {
+			rtrace.Stop()
+			f.Close()
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

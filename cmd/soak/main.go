@@ -9,11 +9,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"reflect"
 
+	"sentomist/internal/core"
 	"sentomist/internal/feature"
 	"sentomist/internal/lifecycle"
 	"sentomist/internal/node"
@@ -23,11 +25,14 @@ import (
 
 func main() {
 	var (
-		runs    = flag.Int("runs", 100, "number of random scenarios")
-		seed    = flag.Uint64("seed", 1, "starting seed")
-		nodes   = flag.Int("nodes", 0, "exact node count (0 = random 1..6)")
-		seconds = flag.Float64("seconds", 0.5, "simulated seconds per scenario")
-		stream  = flag.Bool("stream", false, "also cross-check the online anatomizer against the two-pass reference on every node")
+		runs       = flag.Int("runs", 100, "number of random scenarios")
+		seed       = flag.Uint64("seed", 1, "starting seed")
+		nodes      = flag.Int("nodes", 0, "exact node count (0 = random 1..6)")
+		seconds    = flag.Float64("seconds", 0.5, "simulated seconds per scenario")
+		stream     = flag.Bool("stream", false, "also cross-check the online anatomizer against the two-pass reference on every node")
+		mineIRQ    = flag.Int("mine-irq", 0, "also mine every run's intervals of this event type and cross-check the cached-kernel SVM ranking against the dense path bitwise (0 = off)")
+		svmCacheMB = flag.Int("svm-cache-mb", 1, "kernel column cache budget (MiB) for the cached side of the -mine-irq cross-check")
+		svmShrink  = flag.Bool("svm-shrink", false, "additionally exercise the shrinking heuristic on every -mine-irq problem (checked against the dense ranking to the solver tolerance)")
 	)
 	flag.Parse()
 	stop, err := startProfiling()
@@ -35,7 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "soak:", err)
 		os.Exit(1)
 	}
-	err = run(*runs, *seed, *nodes, *seconds, *stream)
+	err = run(*runs, *seed, *nodes, *seconds, *stream, *mineIRQ, *svmCacheMB, *svmShrink)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
@@ -43,8 +48,8 @@ func main() {
 	}
 }
 
-func run(runs int, seed uint64, nodes int, seconds float64, stream bool) error {
-	totalIntervals, totalMarkers, totalStreamed := 0, 0, 0
+func run(runs int, seed uint64, nodes int, seconds float64, stream bool, mineIRQ, svmCacheMB int, svmShrink bool) error {
+	totalIntervals, totalMarkers, totalStreamed, totalMined := 0, 0, 0, 0
 	pool := &lifecycle.ScratchPool{}
 	for i := 0; i < runs; i++ {
 		s := seed + uint64(i)
@@ -75,6 +80,13 @@ func run(runs int, seed uint64, nodes int, seconds float64, stream bool) error {
 				totalStreamed += n
 			}
 		}
+		if mineIRQ != 0 {
+			n, err := verifyMine(r.Trace, mineIRQ, int64(svmCacheMB)<<20, svmShrink)
+			if err != nil {
+				return fmt.Errorf("seed %d: %w", s, err)
+			}
+			totalMined += n
+		}
 		if (i+1)%25 == 0 {
 			fmt.Printf("%d/%d scenarios ok (%d intervals verified)\n", i+1, runs, totalIntervals)
 		}
@@ -85,7 +97,65 @@ func run(runs int, seed uint64, nodes int, seconds float64, stream bool) error {
 		fmt.Printf("streaming anatomizer: %d intervals bit-identical to the two-pass reference\n",
 			totalStreamed)
 	}
+	if mineIRQ != 0 {
+		fmt.Printf("mining cross-check: %d intervals ranked, cached kernel bit-identical to dense\n",
+			totalMined)
+	}
 	return nil
+}
+
+// verifyMine ranks one run's intervals through the dense-Gram SVM and
+// through the bounded kernel column cache, requiring bit-identical
+// rankings (same order, same scores); with shrink it additionally trains
+// the shrinking variant, which must reproduce the ranking to the solver's
+// tolerance. Runs without intervals of the event type are skipped.
+func verifyMine(t *trace.Trace, irq int, cacheBytes int64, shrink bool) (int, error) {
+	// Every synth node runs its own generated program, so counters from
+	// different nodes have different dimensionalities; mine node 0 (it
+	// exists in every scenario).
+	mine := func(cache int64, shrinking bool) (*core.Ranking, error) {
+		return core.Mine([]core.RunInput{{Trace: t}}, core.Config{
+			IRQ:           irq,
+			Nodes:         []int{0},
+			SVMCacheBytes: cache,
+			SVMShrinking:  shrinking,
+		})
+	}
+	dense, err := mine(0, false)
+	if errors.Is(err, core.ErrNoIntervals) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	cached, err := mine(cacheBytes, false)
+	if err != nil {
+		return 0, err
+	}
+	if len(cached.Samples) != len(dense.Samples) {
+		return 0, fmt.Errorf("mine: cached ranking has %d samples, dense %d", len(cached.Samples), len(dense.Samples))
+	}
+	for i := range dense.Samples {
+		if cached.Samples[i] != dense.Samples[i] {
+			return 0, fmt.Errorf("mine: rank %d diverges: cached %+v, dense %+v",
+				i+1, cached.Samples[i], dense.Samples[i])
+		}
+	}
+	if shrink {
+		shrunk, err := mine(cacheBytes, true)
+		if err != nil {
+			return 0, err
+		}
+		const tol = 1e-3
+		for i := range dense.Samples {
+			d := shrunk.Samples[i].Score - dense.Samples[i].Score
+			if d < -tol || d > tol {
+				return 0, fmt.Errorf("mine: shrink rank %d score %v, dense %v",
+					i+1, shrunk.Samples[i].Score, dense.Samples[i].Score)
+			}
+		}
+	}
+	return len(dense.Samples), nil
 }
 
 // verifyStream replays the node's markers through the online anatomizer and

@@ -128,6 +128,79 @@ func TestMineSparseParallelEquivalence(t *testing.T) {
 	}
 }
 
+// sameRankingExact is sameRanking with zero tolerance: every rank and
+// every score must match bit-for-bit.
+func sameRankingExact(t *testing.T, label string, want, got *sentomist.Ranking) {
+	t.Helper()
+	if len(want.Samples) != len(got.Samples) {
+		t.Fatalf("%s: %d samples vs %d", label, len(want.Samples), len(got.Samples))
+	}
+	for i := range want.Samples {
+		w, g := want.Samples[i], got.Samples[i]
+		if w != g {
+			t.Fatalf("%s: rank %d differs: %+v (score %v) vs %+v (score %v)",
+				label, i+1, w.Interval, w.Score, g.Interval, g.Score)
+		}
+	}
+}
+
+// TestMineCachedKernelEquivalence pins the on-demand kernel cache's
+// central claim on the three case studies: mining through the bounded
+// column cache — at budgets from effectively unbounded down to 5% of the
+// dense Gram footprint — reproduces the default pipeline's ranking
+// bit-for-bit, and the shrinking heuristic reproduces it to the solver
+// tolerance (the golden Figure 5 tables stay byte-stable either way).
+func TestMineCachedKernelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulations")
+	}
+	for name, fx := range caseFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			want, err := sentomist.Mine(fx.inputs, fx.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gram := int64(8) * int64(len(want.Samples)) * int64(len(want.Samples))
+			budgets := map[string]int64{
+				"unbounded": 1 << 40,
+				"25pct":     gram / 4,
+				"5pct":      gram / 20,
+			}
+			for bname, budget := range budgets {
+				cfg := fx.cfg
+				cfg.SVMCacheBytes = budget
+				got, err := sentomist.Mine(fx.inputs, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameRankingExact(t, name+"/cached-"+bname, want, got)
+			}
+			// Shrinking changes float summation order, so compare the
+			// published ranking order and scores to the solver tolerance.
+			cfg := fx.cfg
+			cfg.SVMCacheBytes = gram / 4
+			cfg.SVMShrinking = true
+			shrunk, err := sentomist.Mine(fx.inputs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(shrunk.Samples) != len(want.Samples) {
+				t.Fatalf("shrink: %d samples vs %d", len(shrunk.Samples), len(want.Samples))
+			}
+			for i := range want.Samples {
+				w, g := want.Samples[i], shrunk.Samples[i]
+				if w.Run != g.Run || w.Interval != g.Interval {
+					t.Fatalf("shrink: rank %d order differs: %+v vs %+v", i+1, w.Interval, g.Interval)
+				}
+				diff := w.Score - g.Score
+				if diff < -1e-3 || diff > 1e-3 {
+					t.Fatalf("shrink: rank %d score %v vs %v", i+1, w.Score, g.Score)
+				}
+			}
+		})
+	}
+}
+
 // TestMineParallelRace drives the worker pools hard enough for the race
 // detector to observe them (go test -race exercises this deliberately):
 // repeated concurrent mining of the same immutable inputs.

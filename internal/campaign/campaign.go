@@ -35,6 +35,13 @@ type Config struct {
 	// Workers bounds the pool running scenarios concurrently; <= 0
 	// selects GOMAXPROCS. The ranking is identical at any setting.
 	Workers int
+	// SVMCacheBytes bounds the default detector's kernel column cache;
+	// see core.Config.SVMCacheBytes. Rankings are bit-identical at any
+	// budget. Ignored when Detector is set explicitly.
+	SVMCacheBytes int64
+	// SVMShrinking enables the default detector's shrinking heuristic;
+	// see core.Config.SVMShrinking. Ignored when Detector is set.
+	SVMShrinking bool
 }
 
 // Attach is handed to each RunFunc; calling it creates the online
@@ -111,9 +118,11 @@ func Mine(cfg Config, runs []RunFunc) (*core.Ranking, error) {
 		}
 	}
 	return core.MineBatches(batches, core.Config{
-		IRQ:      cfg.IRQ,
-		Nodes:    cfg.Nodes,
-		Detector: cfg.Detector,
-		Labels:   cfg.Labels,
+		IRQ:           cfg.IRQ,
+		Nodes:         cfg.Nodes,
+		Detector:      cfg.Detector,
+		Labels:        cfg.Labels,
+		SVMCacheBytes: cfg.SVMCacheBytes,
+		SVMShrinking:  cfg.SVMShrinking,
 	})
 }

@@ -76,6 +76,23 @@ type Config struct {
 	// rankings; this switch exists for benchmarking the dense baseline
 	// and for equivalence tests.
 	DenseFeatures bool
+	// SVMCacheBytes, when positive, makes the default one-class-SVM
+	// detector train through the on-demand kernel column cache bounded
+	// to this many bytes instead of materializing the full Gram matrix.
+	// Rankings are bit-identical at any budget. Ignored when Detector is
+	// set explicitly.
+	SVMCacheBytes int64
+	// SVMShrinking enables the SMO shrinking heuristic on the default
+	// detector for large campaigns; the ranking is stable to the solver
+	// tolerance but not bitwise-reproducible against the plain path.
+	// Ignored when Detector is set explicitly.
+	SVMShrinking bool
+}
+
+// defaultDetector builds the detector used when cfg.Detector is nil: the
+// paper's one-class SVM, carrying the config's training knobs.
+func (cfg Config) defaultDetector() outlier.Detector {
+	return outlier.OneClassSVM{CacheBytes: cfg.SVMCacheBytes, Shrinking: cfg.SVMShrinking}
 }
 
 // Sample is one scored event-handling interval.
@@ -169,7 +186,7 @@ func Mine(runs []RunInput, cfg Config) (*Ranking, error) {
 	}
 	det := cfg.Detector
 	if det == nil {
-		det = outlier.OneClassSVM{}
+		det = cfg.defaultDetector()
 	}
 	feat := cfg.Feature
 	if feat == 0 {
@@ -408,7 +425,7 @@ func MineBatches(batches []Batch, cfg Config) (*Ranking, error) {
 	}
 	det := cfg.Detector
 	if det == nil {
-		det = outlier.OneClassSVM{}
+		det = cfg.defaultDetector()
 	}
 	labels := cfg.Labels
 	if labels == 0 {

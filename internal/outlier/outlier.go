@@ -94,6 +94,16 @@ type OneClassSVM struct {
 	// matrix: 0 = GOMAXPROCS, 1 = sequential. Scores are identical
 	// either way.
 	Parallelism int
+	// CacheBytes, when positive, trains through the on-demand kernel
+	// column cache bounded to this many bytes instead of materializing
+	// the full l×l Gram matrix. Scores are bit-identical at any budget;
+	// oversized batches use the cache automatically even at zero.
+	CacheBytes int64
+	// Shrinking enables the SMO shrinking heuristic for large batches.
+	// The optimum meets the same ε tolerance but is not bitwise equal to
+	// the plain path, so leave it off where exact reproducibility across
+	// configurations matters.
+	Shrinking bool
 }
 
 // Name implements Detector.
@@ -108,7 +118,13 @@ func (d OneClassSVM) config(l int) svm.Config {
 	if lmin := 1 / float64(l); nu < lmin {
 		nu = lmin
 	}
-	return svm.Config{Nu: nu, Kernel: d.Kernel, Parallelism: d.Parallelism}
+	return svm.Config{
+		Nu:          nu,
+		Kernel:      d.Kernel,
+		Parallelism: d.Parallelism,
+		CacheBytes:  d.CacheBytes,
+		Shrinking:   d.Shrinking,
+	}
 }
 
 // Score implements Detector. Every sample is a training point, so the

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+
+	"sentomist/internal/randx"
+)
+
+// referenceSparseDot is the pre-blocking scalar merge, kept verbatim as the
+// oracle for the blocked fast path.
+func referenceSparseDot(a, b Sparse) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			s += a.Val[i] * b.Val[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// referenceSparseSqDist is the pre-blocking scalar merge.
+func referenceSparseSqDist(a, b Sparse) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			s += a.Val[i] * a.Val[i]
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			s += b.Val[j] * b.Val[j]
+			j++
+		default:
+			d := a.Val[i] - b.Val[j]
+			s += d * d
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.Idx); i++ {
+		s += a.Val[i] * a.Val[i]
+	}
+	for ; j < len(b.Idx); j++ {
+		s += b.Val[j] * b.Val[j]
+	}
+	return s
+}
+
+// randomSparsePair draws two sparse vectors whose index lists overlap with
+// the given alignment bias: 1.0 means b reuses a's indices wholesale (the
+// shared-code-path regime the blocked path targets), 0 means independent
+// draws with incidental overlap only.
+func randomSparsePair(rng *randx.RNG, dim, nnz int, aligned float64) (Sparse, Sparse) {
+	draw := func(base Sparse) Sparse {
+		v := make([]float64, dim)
+		if base.Idx != nil && rng.Float64() < aligned {
+			for _, idx := range base.Idx {
+				v[idx] = rng.NormFloat64() * 10
+			}
+			// A little per-vector divergence so runs break mid-stream.
+			if rng.Bool(0.5) {
+				v[rng.Intn(dim)] = float64(1 + rng.Intn(9))
+			}
+		} else {
+			for k := 0; k < nnz; k++ {
+				v[rng.Intn(dim)] = rng.NormFloat64() * 10
+			}
+		}
+		return DenseToSparse(v)
+	}
+	a := draw(Sparse{})
+	b := draw(a)
+	return a, b
+}
+
+// TestBlockedSparseOpsBitIdentical pins the blocked SparseDot/SparseSqDist
+// fast paths to the scalar merge bit-for-bit across aligned, partially
+// aligned, and disjoint index lists, including empty vectors and every
+// tail length mod 4.
+func TestBlockedSparseOpsBitIdentical(t *testing.T) {
+	rng := randx.New(41)
+	for trial := 0; trial < 2000; trial++ {
+		dim := 1 + rng.Intn(96)
+		nnz := rng.Intn(dim + 1)
+		aligned := []float64{0, 0.5, 1}[trial%3]
+		a, b := randomSparsePair(rng, dim, nnz, aligned)
+		if got, want := SparseDot(a, b), referenceSparseDot(a, b); got != want {
+			t.Fatalf("trial %d: SparseDot %v != reference %v (a=%v b=%v)", trial, got, want, a, b)
+		}
+		if got, want := SparseSqDist(a, b), referenceSparseSqDist(a, b); got != want {
+			t.Fatalf("trial %d: SparseSqDist %v != reference %v (a=%v b=%v)", trial, got, want, a, b)
+		}
+		// And against the dense forms, preserving the package's core claim.
+		if got, want := SparseDot(a, b), Dot(a.Dense(), b.Dense()); got != want {
+			t.Fatalf("trial %d: SparseDot %v != dense Dot %v", trial, got, want)
+		}
+		if got, want := SparseSqDist(a, b), SqDist(a.Dense(), b.Dense()); got != want {
+			t.Fatalf("trial %d: SparseSqDist %v != dense SqDist %v", trial, got, want)
+		}
+	}
+}
+
+// BenchmarkSparseOps measures the blocked merge in the regime it targets
+// (fully aligned index lists) and the adversarial one (disjoint lists,
+// where only the scalar merge runs).
+func BenchmarkSparseOps(b *testing.B) {
+	rng := randx.New(7)
+	for _, nnz := range []int{16, 64, 256} {
+		va := make([]float64, 4*nnz)
+		for k := 0; k < nnz; k++ {
+			va[k*2] = rng.NormFloat64() * 5
+		}
+		aligned := DenseToSparse(va)
+		vb := append([]float64(nil), va...)
+		for i, x := range vb {
+			if x != 0 {
+				vb[i] = rng.NormFloat64() * 5
+			}
+		}
+		alignedB := DenseToSparse(vb)
+		vd := make([]float64, 4*nnz)
+		for k := 0; k < nnz; k++ {
+			vd[k*2+1] = rng.NormFloat64() * 5
+		}
+		disjoint := DenseToSparse(vd)
+		b.Run(fmt.Sprintf("dot/aligned_nnz_%d", nnz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = SparseDot(aligned, alignedB)
+			}
+		})
+		b.Run(fmt.Sprintf("dot/disjoint_nnz_%d", nnz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = SparseDot(aligned, disjoint)
+			}
+		})
+		b.Run(fmt.Sprintf("dot/aligned_scalar_ref_nnz_%d", nnz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = referenceSparseDot(aligned, alignedB)
+			}
+		})
+		b.Run(fmt.Sprintf("sqdist/aligned_nnz_%d", nnz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = SparseSqDist(aligned, alignedB)
+			}
+		})
+		b.Run(fmt.Sprintf("sqdist/aligned_scalar_ref_nnz_%d", nnz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = referenceSparseSqDist(aligned, alignedB)
+			}
+		})
+		b.Run(fmt.Sprintf("sqdist/disjoint_nnz_%d", nnz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = SparseSqDist(aligned, disjoint)
+			}
+		})
+	}
+}
+
+var benchSink float64

@@ -60,11 +60,42 @@ func checkSparseDims(op string, a, b Sparse) {
 
 // SparseDot returns ⟨a,b⟩ by merging the two index lists; cost is
 // O(nnz(a)+nnz(b)) instead of O(Dim).
+//
+// Instruction counters from the same program overwhelmingly share their
+// index lists (intervals execute the same code path), so the merge runs a
+// blocked fast path: while the next four index pairs line up it processes
+// them without the three-way branch, falling back to the scalar merge the
+// moment they diverge. The accumulator takes exactly the same additions in
+// exactly the same order either way, so the result stays bit-identical to
+// the plain merge (and to Dot on the densified vectors).
 func SparseDot(a, b Sparse) float64 {
 	checkSparseDims("SparseDot", a, b)
 	var s float64
 	i, j := 0, 0
-	for i < len(a.Idx) && j < len(b.Idx) {
+	na, nb := len(a.Idx), len(b.Idx)
+	for i+3 < na && j+3 < nb {
+		if a.Idx[i] == b.Idx[j] && a.Idx[i+1] == b.Idx[j+1] &&
+			a.Idx[i+2] == b.Idx[j+2] && a.Idx[i+3] == b.Idx[j+3] {
+			s += a.Val[i] * b.Val[j]
+			s += a.Val[i+1] * b.Val[j+1]
+			s += a.Val[i+2] * b.Val[j+2]
+			s += a.Val[i+3] * b.Val[j+3]
+			i += 4
+			j += 4
+			continue
+		}
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			s += a.Val[i] * b.Val[j]
+			i++
+			j++
+		}
+	}
+	for i < na && j < nb {
 		switch {
 		case a.Idx[i] < b.Idx[j]:
 			i++
@@ -83,11 +114,46 @@ func SparseDot(a, b Sparse) float64 {
 // order. Dimensions where both vectors are zero contribute an exact 0.0 to
 // the dense sum, so skipping them leaves every partial sum — and the result
 // — bit-identical to SqDist on the densified vectors.
+//
+// Like SparseDot it runs a blocked fast path over 4-aligned index runs
+// (the common case for counters sharing a code path); the additions hit
+// the accumulator in the same order as the scalar merge, so results are
+// unchanged bit-for-bit.
 func SparseSqDist(a, b Sparse) float64 {
 	checkSparseDims("SparseSqDist", a, b)
 	var s float64
 	i, j := 0, 0
-	for i < len(a.Idx) && j < len(b.Idx) {
+	na, nb := len(a.Idx), len(b.Idx)
+	for i+3 < na && j+3 < nb {
+		if a.Idx[i] == b.Idx[j] && a.Idx[i+1] == b.Idx[j+1] &&
+			a.Idx[i+2] == b.Idx[j+2] && a.Idx[i+3] == b.Idx[j+3] {
+			d0 := a.Val[i] - b.Val[j]
+			s += d0 * d0
+			d1 := a.Val[i+1] - b.Val[j+1]
+			s += d1 * d1
+			d2 := a.Val[i+2] - b.Val[j+2]
+			s += d2 * d2
+			d3 := a.Val[i+3] - b.Val[j+3]
+			s += d3 * d3
+			i += 4
+			j += 4
+			continue
+		}
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			s += a.Val[i] * a.Val[i]
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			s += b.Val[j] * b.Val[j]
+			j++
+		default:
+			d := a.Val[i] - b.Val[j]
+			s += d * d
+			i++
+			j++
+		}
+	}
+	for i < na && j < nb {
 		switch {
 		case a.Idx[i] < b.Idx[j]:
 			s += a.Val[i] * a.Val[i]

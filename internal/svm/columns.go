@@ -1,0 +1,251 @@
+package svm
+
+import (
+	"sync"
+
+	"sentomist/internal/stats"
+)
+
+// The SMO solver reads the Gram matrix exclusively through full columns:
+// gradient initialization walks the columns carrying initial mass, each
+// update step needs the two working-set columns, and Gram-reuse scoring
+// walks the support-vector columns. gramProvider is that access path. The
+// dense path materializes every column upfront; the cached path memoizes
+// columns in an LRU bounded by Config.CacheBytes and computes misses on
+// demand. Both hand the solver the very same float64 cell values, so the
+// trained model is bit-identical regardless of provider or cache size.
+type gramProvider interface {
+	// col returns column j of Q, length l: col(j)[k] == Q[k][j]. The
+	// returned slice is read-only and guaranteed valid until the second
+	// following col call (the cache never evicts its two most recently
+	// returned columns), which is exactly the pinning the solver needs.
+	col(j int) []float64
+}
+
+// denseMatrix adapts a fully materialized symmetric Gram matrix: the
+// stored rows mirror the upper/lower triangle, so row j IS column j.
+type denseMatrix [][]float64
+
+func (q denseMatrix) col(j int) []float64 { return q[j] }
+
+// columnSource computes kernel columns from scratch — the miss path
+// behind colCache. Implementations must write Q[k][j] into dst[k] with the
+// same evaluation-argument orientation buildGram uses (larger sample index
+// first), so a cached cell is the identical float64 the dense build
+// produces.
+type columnSource interface {
+	length() int
+	// distinct returns how many distinct columns exist (< length when
+	// identical samples collapse to a shared representative).
+	distinct() int
+	// remapped translates a sample index to its column key.
+	remapped(j int) int
+	// fill writes column key j into dst (length length()).
+	fill(j int, dst []float64)
+}
+
+// denseColSource evaluates columns over dense samples.
+type denseColSource struct {
+	samples [][]float64
+	kernel  Kernel
+	workers int
+}
+
+func (s *denseColSource) length() int        { return len(s.samples) }
+func (s *denseColSource) distinct() int      { return len(s.samples) }
+func (s *denseColSource) remapped(j int) int { return j }
+
+func (s *denseColSource) fill(j int, dst []float64) {
+	sj := s.samples[j]
+	parallelRanges(len(dst), s.workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			// buildGram stores Q[a][b] (a >= b) as Eval(samples[a],
+			// samples[b]); keep that argument order per cell.
+			if k >= j {
+				dst[k] = s.kernel.Eval(s.samples[k], sj)
+			} else {
+				dst[k] = s.kernel.Eval(sj, s.samples[k])
+			}
+		}
+	})
+}
+
+// sparseColSource evaluates columns over sparse samples with the same
+// duplicate collapsing gramSparse applies: one kernel evaluation per
+// distinct-vector group, broadcast across the group's samples. Columns are
+// keyed by group, so identical samples share a single cached column.
+type sparseColSource struct {
+	samples []stats.Sparse
+	kernel  SparseKernel
+	reps    []int // sample index of each group representative
+	group   []int // sample index -> group
+	vals    []float64
+	workers int
+}
+
+func newSparseColSource(samples []stats.Sparse, kernel SparseKernel, workers int) *sparseColSource {
+	reps, group := dedupSparse(samples)
+	return &sparseColSource{
+		samples: samples,
+		kernel:  kernel,
+		reps:    reps,
+		group:   group,
+		vals:    make([]float64, len(reps)),
+		workers: workers,
+	}
+}
+
+func (s *sparseColSource) length() int        { return len(s.samples) }
+func (s *sparseColSource) distinct() int      { return len(s.reps) }
+func (s *sparseColSource) remapped(j int) int { return s.group[j] }
+
+func (s *sparseColSource) fill(g int, dst []float64) {
+	rg := s.samples[s.reps[g]]
+	parallelRanges(len(s.reps), s.workers, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			// gramSparse's representative block stores g[x][y] (x >= y) as
+			// EvalSparse(samples[reps[x]], samples[reps[y]]).
+			if b >= g {
+				s.vals[b] = s.kernel.EvalSparse(s.samples[s.reps[b]], rg)
+			} else {
+				s.vals[b] = s.kernel.EvalSparse(rg, s.samples[s.reps[b]])
+			}
+		}
+	})
+	for k := range dst {
+		dst[k] = s.vals[s.group[k]]
+	}
+}
+
+// minParallelFill is the smallest per-column work that justifies fanning a
+// fill across goroutines; below it the spawn overhead dominates.
+const minParallelFill = 4096
+
+// parallelRanges splits [0,n) into contiguous chunks across the bounded
+// worker pool. Cells are written to disjoint destinations, so the result
+// is independent of scheduling.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < minParallelFill {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// colEntry is one resident column in the LRU.
+type colEntry struct {
+	key        int
+	col        []float64
+	prev, next *colEntry
+}
+
+// colCache is the libsvm-style kernel cache: an LRU of full columns bounded
+// by a byte budget. It is pure memoization — a hit returns exactly the
+// float64s a miss would recompute — so the solver's result is independent
+// of the budget. At least two columns are always resident (the solver
+// holds the two working-set columns at once), and evicted slices are
+// recycled into the incoming column, so steady-state misses allocate
+// nothing.
+type colCache struct {
+	src     columnSource
+	entries map[int]*colEntry
+	head    *colEntry // most recently used
+	tail    *colEntry // next to evict
+	capCols int
+
+	hits, misses int64
+}
+
+func newColCache(src columnSource, budgetBytes int64) *colCache {
+	l := src.length()
+	capCols := 2
+	if l > 0 {
+		if byBudget := budgetBytes / int64(8*l); byBudget > 2 {
+			if byBudget > int64(src.distinct()) {
+				capCols = src.distinct()
+			} else {
+				capCols = int(byBudget)
+			}
+		}
+	}
+	if capCols < 2 {
+		capCols = 2
+	}
+	return &colCache{
+		src:     src,
+		entries: make(map[int]*colEntry, capCols),
+		capCols: capCols,
+	}
+}
+
+func (c *colCache) col(j int) []float64 {
+	key := c.src.remapped(j)
+	if e := c.entries[key]; e != nil {
+		c.hits++
+		c.moveToFront(e)
+		return e.col
+	}
+	c.misses++
+	var e *colEntry
+	if len(c.entries) < c.capCols {
+		e = &colEntry{col: make([]float64, c.src.length())}
+	} else {
+		e = c.tail
+		c.detach(e)
+		delete(c.entries, e.key)
+	}
+	e.key = key
+	c.src.fill(key, e.col)
+	c.entries[key] = e
+	c.pushFront(e)
+	return e.col
+}
+
+func (c *colCache) moveToFront(e *colEntry) {
+	if c.head == e {
+		return
+	}
+	c.detach(e)
+	c.pushFront(e)
+}
+
+func (c *colCache) detach(e *colEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *colCache) pushFront(e *colEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}

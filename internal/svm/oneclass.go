@@ -12,6 +12,33 @@ import (
 	"sentomist/internal/stats"
 )
 
+// GramMode selects how the solver accesses the kernel matrix.
+type GramMode uint8
+
+const (
+	// GramAuto materializes the full Gram matrix when it fits the dense
+	// budget and no cache budget was requested, and switches to the
+	// on-demand column cache otherwise. The trained model is bit-identical
+	// either way.
+	GramAuto GramMode = iota
+	// GramDense always materializes the full l×l matrix; oversized
+	// problems are rejected with an error instead of attempting the
+	// allocation.
+	GramDense
+	// GramCached never materializes the matrix: kernel columns are
+	// computed on demand and memoized in an LRU bounded by CacheBytes.
+	GramCached
+)
+
+// DefaultCacheBytes is the kernel column cache budget used when the cached
+// path is selected with CacheBytes zero.
+const DefaultCacheBytes = 256 << 20
+
+// denseGramLimit bounds the dense path's l×l allocation (bytes). Problems
+// past it route to the cached path under GramAuto and error under
+// GramDense. A variable so tests can lower it without 50k-sample inputs.
+var denseGramLimit int64 = 1 << 30
+
 // Config parameterizes one-class training.
 type Config struct {
 	// Nu is the ν parameter: an upper bound on the fraction of training
@@ -24,11 +51,30 @@ type Config struct {
 	Eps float64
 	// MaxIter bounds SMO iterations; defaults to 100·l (at least 10000).
 	MaxIter int
-	// Parallelism bounds the goroutines building the Gram matrix:
-	// 0 selects GOMAXPROCS, 1 forces sequential construction. The
-	// resulting model is identical either way — each cell is computed
-	// independently.
+	// Parallelism bounds the goroutines building the Gram matrix (dense
+	// path) or filling cache-miss columns (cached path): 0 selects
+	// GOMAXPROCS, 1 forces sequential construction. The resulting model
+	// is identical either way — each cell is computed independently.
 	Parallelism int
+	// Gram selects dense, cached, or automatic kernel-matrix access.
+	// Training is bit-identical across modes and cache sizes: the cache
+	// memoizes the very float64 evaluations the dense build stores.
+	Gram GramMode
+	// CacheBytes bounds the cached path's column LRU (0 selects
+	// DefaultCacheBytes). Setting it under GramAuto opts into the cached
+	// path. At least two columns are always kept resident.
+	CacheBytes int64
+	// Shrinking enables the libsvm-style shrinking heuristic: bound
+	// samples that stopped violating the KKT conditions are periodically
+	// parked, shrinking the working-set scan and gradient updates; before
+	// termination the full gradient is reconstructed exactly and
+	// optimization resumes if any parked sample still violates. The
+	// optimum satisfies the same ε tolerance, but floating-point
+	// summation orders differ, so results are equal only up to the
+	// optimizer tolerance — use it for large l where iteration cost
+	// dominates, not where bit-reproducibility against the plain path
+	// matters.
+	Shrinking bool
 }
 
 func (cfg Config) workers() int {
@@ -36,6 +82,37 @@ func (cfg Config) workers() int {
 		return cfg.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (cfg Config) cacheBytes() int64 {
+	if cfg.CacheBytes > 0 {
+		return cfg.CacheBytes
+	}
+	return DefaultCacheBytes
+}
+
+// denseGramOversized reports whether an l×l float64 matrix would overflow
+// int or exceed the dense budget.
+func denseGramOversized(l int) bool {
+	if l == 0 {
+		return false
+	}
+	return int64(l) > denseGramLimit/(8*int64(l))
+}
+
+// useCache decides the Gram access path for an l-sample problem.
+func (cfg Config) useCache(l int) (bool, error) {
+	switch cfg.Gram {
+	case GramCached:
+		return true, nil
+	case GramDense:
+		if denseGramOversized(l) {
+			return false, fmt.Errorf("svm: gram matrix (l=%d) exceeds the %d MiB dense budget; use GramCached (or GramAuto) with a CacheBytes bound", l, denseGramLimit>>20)
+		}
+		return false, nil
+	default:
+		return cfg.CacheBytes > 0 || denseGramOversized(l), nil
+	}
 }
 
 // Model is a trained one-class SVM.
@@ -56,6 +133,12 @@ type Model struct {
 	Iters      int
 	NumSV      int
 	NumBoundSV int
+	// Cached-path diagnostics: column requests served from the LRU vs
+	// computed, and the cache capacity in columns. All zero on the dense
+	// path.
+	CacheHits   int64
+	CacheMisses int64
+	CacheCols   int
 }
 
 // ErrNoData is returned when Train is called without samples.
@@ -81,8 +164,17 @@ func Train(samples [][]float64, cfg Config) (*Model, error) {
 	if kernel == nil {
 		kernel = defaultKernel(dim)
 	}
-	q := gramDense(samples, kernel, cfg.workers())
-	m, err := solve(q, cfg, kernel)
+	cached, err := cfg.useCache(l)
+	if err != nil {
+		return nil, err
+	}
+	var p gramProvider
+	if cached {
+		p = newColCache(&denseColSource{samples: samples, kernel: kernel, workers: cfg.workers()}, cfg.cacheBytes())
+	} else {
+		p = denseMatrix(gramDense(samples, kernel, cfg.workers()))
+	}
+	m, err := solve(p, l, cfg, kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +219,17 @@ func TrainSparse(samples []stats.Sparse, cfg Config) (*Model, error) {
 		}
 		return Train(dense, cfg)
 	}
-	q := gramSparse(samples, sk, cfg.workers())
-	m, err := solve(q, cfg, kernel)
+	cached, err := cfg.useCache(l)
+	if err != nil {
+		return nil, err
+	}
+	var p gramProvider
+	if cached {
+		p = newColCache(newSparseColSource(samples, sk, cfg.workers()), cfg.cacheBytes())
+	} else {
+		p = denseMatrix(gramSparse(samples, sk, cfg.workers()))
+	}
+	m, err := solve(p, l, cfg, kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -239,8 +340,15 @@ func buildGram(l, workers int, eval func(i, j int) float64) [][]float64 {
 		}
 		return q
 	}
-	if workers > l {
-		workers = l
+	// Row i of the lower triangle holds i+1 cells, so handing out bare
+	// rows gives late workers quadratically heavier work. Hand out the
+	// pair (t, l−1−t) instead: every unit covers (t+1) + (l−t) = l+1
+	// cells, so the atomic counter deals near-identical loads no matter
+	// which worker draws which ticket. Cells are still written to
+	// disjoint locations — output is unchanged.
+	half := (l + 1) / 2
+	if workers > half {
+		workers = half
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -249,11 +357,14 @@ func buildGram(l, workers int, eval func(i, j int) float64) [][]float64 {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= l {
+				t := int(next.Add(1)) - 1
+				if t >= half {
 					return
 				}
-				fill(i)
+				fill(t)
+				if other := l - 1 - t; other != t {
+					fill(other)
+				}
 			}
 		}()
 	}
@@ -261,11 +372,27 @@ func buildGram(l, workers int, eval func(i, j int) float64) [][]float64 {
 	return q
 }
 
-// solve runs the SMO optimizer over a precomputed Gram matrix and returns
-// a partially-filled model (alpha, rho, diagnostics); the caller attaches
+// shrinkInterval returns how many SMO iterations run between shrinking
+// passes (libsvm's min(l, 1000) schedule).
+func shrinkInterval(l int) int {
+	if l < 1000 {
+		return l
+	}
+	return 1000
+}
+
+// solve runs the SMO optimizer over a Gram-column provider and returns a
+// partially-filled model (alpha, rho, diagnostics); the caller attaches
 // the support-vector representation.
-func solve(q [][]float64, cfg Config, kernel Kernel) (*Model, error) {
-	l := len(q)
+//
+// The solver touches the matrix only through p.col, and every sum it forms
+// accumulates in the same element order as the historical row-based code,
+// so the result is bit-identical whether p materializes the matrix or
+// memoizes columns on demand at any cache size. With cfg.Shrinking the
+// iteration order over samples changes (parked samples are skipped and
+// gradients reconstructed on unshrink), so that path guarantees the same
+// ε-optimum but not bitwise equality.
+func solve(p gramProvider, l int, cfg Config, kernel Kernel) (*Model, error) {
 	if cfg.Nu <= 0 || cfg.Nu > 1 {
 		return nil, fmt.Errorf("svm: nu=%g outside (0,1]", cfg.Nu)
 	}
@@ -293,21 +420,34 @@ func solve(q [][]float64, cfg Config, kernel Kernel) (*Model, error) {
 	}
 
 	// Gradient of ½αᵀQα is Qα. The initialization above puts mass only
-	// on a prefix of the samples, so the inner sum stops at the first
-	// zero coefficient instead of scanning all l.
+	// on a prefix of the samples, so only the columns carrying mass
+	// contribute. Walking those columns in ascending order feeds each
+	// grad[i] the same additions in the same order as the historical
+	// row-based loop (Q is symmetric cell-for-cell by construction).
 	init := 0
 	for init < l && alpha[init] > 0 {
 		init++
 	}
 	grad := make([]float64, l)
-	for i := 0; i < l; i++ {
-		var g float64
-		qi := q[i]
-		for j := 0; j < init; j++ {
-			g += qi[j] * alpha[j]
+	for j := 0; j < init; j++ {
+		cj := p.col(j)
+		aj := alpha[j]
+		for i := 0; i < l; i++ {
+			grad[i] += cj[i] * aj
 		}
-		grad[i] = g
 	}
+
+	// The active set: active[:activeSize] are the sample indices the
+	// working-set scan and gradient updates visit. Without shrinking it
+	// stays the identity permutation over all l samples, so the scan
+	// order — and every tie-break — matches the plain loop exactly.
+	active := make([]int, l)
+	for k := range active {
+		active[k] = k
+	}
+	activeSize := l
+	parked := false
+	shrinkTick := shrinkInterval(l)
 
 	iters := 0
 	for ; iters < maxIter; iters++ {
@@ -315,7 +455,8 @@ func solve(q [][]float64, cfg Config, kernel Kernel) (*Model, error) {
 		// i ∈ {α < C} minimizing Gᵢ, j ∈ {α > 0} maximizing Gⱼ.
 		i, j := -1, -1
 		gmin, gmax := math.Inf(1), math.Inf(-1)
-		for k := 0; k < l; k++ {
+		for t := 0; t < activeSize; t++ {
+			k := active[t]
 			if alpha[k] < c-1e-15 && grad[k] < gmin {
 				gmin = grad[k]
 				i = k
@@ -326,10 +467,49 @@ func solve(q [][]float64, cfg Config, kernel Kernel) (*Model, error) {
 			}
 		}
 		if i < 0 || j < 0 || gmax-gmin < eps {
-			break
+			if !parked {
+				break
+			}
+			// Converged on the shrunk problem only. Reconstruct the
+			// parked gradients exactly, reactivate everything in the
+			// original order, and keep optimizing: termination always
+			// means the FULL problem satisfies the ε tolerance.
+			reconstructGradient(p, l, alpha, grad, active, activeSize)
+			for k := range active {
+				active[k] = k
+			}
+			activeSize = l
+			parked = false
+			shrinkTick = shrinkInterval(l)
+			continue
 		}
 
-		eta := q[i][i] + q[j][j] - 2*q[i][j]
+		if cfg.Shrinking {
+			shrinkTick--
+			if shrinkTick == 0 {
+				shrinkTick = shrinkInterval(l)
+				// Park bound samples that no longer violate: a zero
+				// coefficient whose gradient already exceeds the worst
+				// upper violation can't be selected as i, a bound-C
+				// coefficient below the worst lower violation can't be
+				// selected as j. A mistaken park is repaired by the
+				// reconstruction pass above.
+				for t := 0; t < activeSize; {
+					k := active[t]
+					if (alpha[k] <= 1e-15 && grad[k] > gmax) ||
+						(alpha[k] >= c-1e-15 && grad[k] < gmin) {
+						activeSize--
+						active[t], active[activeSize] = active[activeSize], active[t]
+						parked = true
+						continue
+					}
+					t++
+				}
+			}
+		}
+
+		ci, cj := p.col(i), p.col(j)
+		eta := ci[i] + cj[j] - 2*ci[j]
 		var delta float64
 		if eta > 1e-12 {
 			delta = (grad[j] - grad[i]) / eta
@@ -347,9 +527,16 @@ func solve(q [][]float64, cfg Config, kernel Kernel) (*Model, error) {
 		}
 		alpha[i] += delta
 		alpha[j] -= delta
-		for k := 0; k < l; k++ {
-			grad[k] += delta * (q[k][i] - q[k][j])
+		for t := 0; t < activeSize; t++ {
+			k := active[t]
+			grad[k] += delta * (ci[k] - cj[k])
 		}
+	}
+	if parked {
+		// MaxIter exhaustion (or a degenerate step) on the shrunk
+		// problem: the parked gradients are stale; ρ and the training
+		// decisions below need the true ones.
+		reconstructGradient(p, l, alpha, grad, active, activeSize)
 	}
 
 	// ρ: at the optimum, free SVs satisfy Gᵢ = ρ.
@@ -397,26 +584,56 @@ func solve(q [][]float64, cfg Config, kernel Kernel) (*Model, error) {
 		}
 	}
 
-	// Score every training row from its cached Gram column. Summing over
-	// SVs in ascending training order with q's symmetric entries
-	// reproduces Decision's fresh kernel evaluations bit-for-bit.
+	// Score every training row from its cached Gram column. Walking the
+	// SV columns in ascending training order feeds each row's sum the
+	// same additions in the same order as fresh per-row evaluation, so
+	// the scores reproduce Decision bit-for-bit.
 	trainDec := make([]float64, l)
-	for k := 0; k < l; k++ {
-		var s float64
-		for _, i := range svIdx {
-			s += alpha[i] * q[i][k]
+	for _, i := range svIdx {
+		ci := p.col(i)
+		ai := alpha[i]
+		for k := 0; k < l; k++ {
+			trainDec[k] += ai * ci[k]
 		}
-		trainDec[k] = s - rho
+	}
+	for k := 0; k < l; k++ {
+		trainDec[k] -= rho
 	}
 
-	return &Model{
+	m := &Model{
 		kernel:     kernel,
 		alpha:      alpha,
 		rho:        rho,
 		trainDec:   trainDec,
 		Iters:      iters,
 		NumBoundSV: bound,
-	}, nil
+	}
+	if cache, ok := p.(*colCache); ok {
+		m.CacheHits = cache.hits
+		m.CacheMisses = cache.misses
+		m.CacheCols = cache.capCols
+	}
+	return m, nil
+}
+
+// reconstructGradient recomputes grad[k] = Σⱼ αⱼ·Q[k][j] from scratch for
+// every parked sample (active[activeSize:]). Only columns carrying mass
+// contribute, and those are overwhelmingly cached — they are exactly the
+// columns the working-set updates kept touching.
+func reconstructGradient(p gramProvider, l int, alpha, grad []float64, active []int, activeSize int) {
+	for _, k := range active[activeSize:] {
+		grad[k] = 0
+	}
+	for j := 0; j < l; j++ {
+		if alpha[j] <= 0 {
+			continue
+		}
+		cj := p.col(j)
+		aj := alpha[j]
+		for _, k := range active[activeSize:] {
+			grad[k] += cj[k] * aj
+		}
+	}
 }
 
 // finish compacts alpha to the kept SVs and fills the SV count.

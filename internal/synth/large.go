@@ -1,0 +1,112 @@
+package synth
+
+import (
+	"sentomist/internal/randx"
+	"sentomist/internal/stats"
+)
+
+// LargeCampaignConfig bounds LargeCampaign generation.
+type LargeCampaignConfig struct {
+	// Seed drives generation; equal configs generate equal batches.
+	Seed uint64
+	// Samples is the number of intervals (default 10000).
+	Samples int
+	// Dim is the program length in instructions (default 2048).
+	Dim int
+	// Paths is how many distinct normal code paths the event handler
+	// exercises (default 12). Intervals on the same path share their
+	// index list, differing only in loop counts.
+	Paths int
+	// AnomalyRate is the fraction of intervals that take a rare extra
+	// branch — the transient-bug symptom a miner should surface
+	// (default 0.002).
+	AnomalyRate float64
+	// Distinct draws each interval's loop jitter continuously instead of
+	// quantized, so every counter is distinct — the regime where
+	// duplicate collapsing cannot shrink the kernel matrix and training
+	// cost truly scales with l (what the campaign-scale benchmarks
+	// measure).
+	Distinct bool
+}
+
+// LargeCampaign synthesizes the instruction counters of one large testing
+// campaign without running the simulator: tens of thousands of
+// event-handling intervals over a Dim-instruction program. The shape
+// mirrors what the recorder produces (and what the mining-at-scale
+// benchmarks need): each interval executes one of a few code paths — a
+// handful of contiguous basic blocks, so index lists are long aligned runs
+// shared across intervals — with per-interval loop counts quantized to
+// small integers, which makes exact duplicate counters common, exactly
+// like real campaigns. A small fraction of intervals additionally executes
+// a rare block with an outsized count.
+func LargeCampaign(cfg LargeCampaignConfig) []stats.Sparse {
+	l := cfg.Samples
+	if l <= 0 {
+		l = 10000
+	}
+	dim := cfg.Dim
+	if dim <= 0 {
+		dim = 2048
+	}
+	paths := cfg.Paths
+	if paths <= 0 {
+		paths = 12
+	}
+	rate := cfg.AnomalyRate
+	if rate < 0 {
+		rate = 0
+	} else if rate == 0 {
+		rate = 0.002
+	}
+	rng := randx.New(cfg.Seed ^ 0x1a59eca)
+
+	// A basic block is a run of consecutive PCs; a path is 3–6 blocks.
+	type block struct {
+		start, n int
+		base     float64
+	}
+	makeBlocks := func(count int) []block {
+		bs := make([]block, count)
+		for i := range bs {
+			n := 8 + rng.Intn(25)
+			start := rng.Intn(dim - n)
+			bs[i] = block{start: start, n: n, base: float64(1 + rng.Intn(6))}
+		}
+		return bs
+	}
+	pathBlocks := make([][]block, paths)
+	for p := range pathBlocks {
+		pathBlocks[p] = makeBlocks(3 + rng.Intn(4))
+	}
+	rare := makeBlocks(2)
+
+	buf := make([]float64, dim)
+	out := make([]stats.Sparse, l)
+	for s := range out {
+		for i := range buf {
+			buf[i] = 0
+		}
+		blocks := pathBlocks[rng.Intn(paths)]
+		// Loop counts quantized to a few integers: intervals on the same
+		// path with the same draw are bit-identical counters.
+		jitter := float64(rng.Intn(4))
+		if cfg.Distinct {
+			jitter = rng.Float64() * 4
+		}
+		for _, b := range blocks {
+			for k := 0; k < b.n; k++ {
+				buf[b.start+k] += b.base + jitter
+			}
+		}
+		if rng.Float64() < rate {
+			burst := float64(50 + rng.Intn(200))
+			for _, b := range rare {
+				for k := 0; k < b.n; k++ {
+					buf[b.start+k] += burst
+				}
+			}
+		}
+		out[s] = stats.DenseToSparse(buf)
+	}
+	return out
+}

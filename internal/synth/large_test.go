@@ -1,0 +1,75 @@
+package synth
+
+import (
+	"testing"
+
+	"sentomist/internal/stats"
+)
+
+func TestLargeCampaignShape(t *testing.T) {
+	batch := LargeCampaign(LargeCampaignConfig{Seed: 9, Samples: 3000, Dim: 1024})
+	if len(batch) != 3000 {
+		t.Fatalf("got %d samples", len(batch))
+	}
+	dups := map[string]int{}
+	anomalous := 0
+	for i, s := range batch {
+		if s.Dim != 1024 {
+			t.Fatalf("sample %d dim %d", i, s.Dim)
+		}
+		if s.NNZ() == 0 || s.NNZ() > 1024 {
+			t.Fatalf("sample %d nnz %d", i, s.NNZ())
+		}
+		for k := 1; k < len(s.Idx); k++ {
+			if s.Idx[k] <= s.Idx[k-1] {
+				t.Fatalf("sample %d indices not strictly ascending", i)
+			}
+		}
+		var peak float64
+		for _, v := range s.Val {
+			if v > peak {
+				peak = v
+			}
+		}
+		if peak >= 50 {
+			anomalous++
+		}
+		key := make([]byte, 0, 16*len(s.Idx))
+		for k, idx := range s.Idx {
+			key = append(key, byte(idx), byte(idx>>8), byte(idx>>16), byte(int64(s.Val[k])))
+		}
+		dups[string(key)]++
+	}
+	// The quantized path/jitter structure must produce many exact
+	// duplicates (the dedup fast path's regime) …
+	if len(dups) >= len(batch)/2 {
+		t.Fatalf("only %d/%d distinct counters; expected heavy duplication", len(dups), len(batch))
+	}
+	// … and the default anomaly rate a small but nonzero symptom count.
+	if anomalous == 0 || anomalous > len(batch)/20 {
+		t.Fatalf("%d anomalous samples out of %d", anomalous, len(batch))
+	}
+}
+
+func TestLargeCampaignDeterministic(t *testing.T) {
+	a := LargeCampaign(LargeCampaignConfig{Seed: 4, Samples: 500})
+	b := LargeCampaign(LargeCampaignConfig{Seed: 4, Samples: 500})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if stats.SparseSqDist(a[i], b[i]) != 0 {
+			t.Fatalf("sample %d differs between identical seeds", i)
+		}
+	}
+	c := LargeCampaign(LargeCampaignConfig{Seed: 5, Samples: 500})
+	same := 0
+	for i := range a {
+		if a[i].Dim == c[i].Dim && stats.SparseSqDist(a[i], c[i]) == 0 {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds generated identical batches")
+	}
+}

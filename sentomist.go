@@ -146,11 +146,18 @@ func MineBatches(batches []MineBatch, cfg MineConfig) (*Ranking, error) {
 	return core.MineBatches(batches, cfg)
 }
 
+// SVMDetector is the paper's default detector with every training knob
+// exposed: ν, kernel, Gram-build parallelism, the on-demand kernel column
+// cache budget (CacheBytes — bit-identical scores at any budget), and the
+// SMO shrinking heuristic for large campaigns.
+type SVMDetector = outlier.OneClassSVM
+
 // OneClassSVM returns the paper's default detector with the given ν
 // (fraction of samples treated as outliers; 0 selects 0.05). A nil kernel
-// selects RBF with gamma = 1/dim.
+// selects RBF with gamma = 1/dim. Use SVMDetector directly to set the
+// campaign-scale knobs (cache budget, shrinking).
 func OneClassSVM(nu float64, kernel Kernel) Detector {
-	return outlier.OneClassSVM{Nu: nu, Kernel: kernel}
+	return SVMDetector{Nu: nu, Kernel: kernel}
 }
 
 // PCADetector scores by reconstruction error outside the principal
