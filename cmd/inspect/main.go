@@ -69,6 +69,12 @@ func run(irq int, nodesCSV string, rank int, nu float64, path string) error {
 		return fmt.Errorf("rank %d outside 1..%d", rank, len(ranking.Samples))
 	}
 
+	if b.Stats != (sentomist.SimStats{}) {
+		st := b.Stats
+		fmt.Printf("record-phase scheduler: %d rounds, %d solo jumps, %d idle jumps, %d parallel sections (%d advances, %d staged events)\n\n",
+			st.Rounds, st.SoloJumps, st.IdleJumps,
+			st.ParallelSections, st.ParallelAdvances, st.StagedEvents)
+	}
 	fmt.Printf("%d intervals mined; ranking head:\n\n%s\n", len(ranking.Samples), ranking.Table(5, 0))
 	s := ranking.Samples[rank-1]
 	prog := b.Programs[s.Interval.Node]

@@ -9,30 +9,35 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"reflect"
 
+	"sentomist/internal/apps"
 	"sentomist/internal/core"
 	"sentomist/internal/feature"
 	"sentomist/internal/lifecycle"
 	"sentomist/internal/node"
+	"sentomist/internal/sim"
 	"sentomist/internal/synth"
 	"sentomist/internal/trace"
 )
 
 func main() {
 	var (
-		runs       = flag.Int("runs", 100, "number of random scenarios")
-		seed       = flag.Uint64("seed", 1, "starting seed")
-		nodes      = flag.Int("nodes", 0, "exact node count (0 = random 1..6)")
-		seconds    = flag.Float64("seconds", 0.5, "simulated seconds per scenario")
-		stream     = flag.Bool("stream", false, "also cross-check the online anatomizer against the two-pass reference on every node")
-		mineIRQ    = flag.Int("mine-irq", 0, "also mine every run's intervals of this event type and cross-check the cached-kernel SVM ranking against the dense path bitwise (0 = off)")
-		svmCacheMB = flag.Int("svm-cache-mb", 1, "kernel column cache budget (MiB) for the cached side of the -mine-irq cross-check")
-		svmShrink  = flag.Bool("svm-shrink", false, "additionally exercise the shrinking heuristic on every -mine-irq problem (checked against the dense ranking to the solver tolerance)")
+		runs        = flag.Int("runs", 100, "number of random scenarios")
+		seed        = flag.Uint64("seed", 1, "starting seed")
+		nodes       = flag.Int("nodes", 0, "exact node count (0 = random 1..6)")
+		seconds     = flag.Float64("seconds", 0.5, "simulated seconds per scenario")
+		stream      = flag.Bool("stream", false, "also cross-check the online anatomizer against the two-pass reference on every node")
+		mineIRQ     = flag.Int("mine-irq", 0, "also mine every run's intervals of this event type and cross-check the cached-kernel SVM ranking against the dense path bitwise (0 = off)")
+		svmCacheMB  = flag.Int("svm-cache-mb", 1, "kernel column cache budget (MiB) for the cached side of the -mine-irq cross-check")
+		svmShrink   = flag.Bool("svm-shrink", false, "additionally exercise the shrinking heuristic on every -mine-irq problem (checked against the dense ranking to the solver tolerance)")
+		nodeWorkers = flag.Int("node-workers", 0, "emulator-side parallelism per scenario (sim.Config.ParallelNodes); traces are byte-identical at any setting (<= 1 = sequential)")
+		parCheck    = flag.Bool("par-check", false, "record every scenario twice — sequentially and with parallel node sections — and require the serialized traces to be byte-identical (uses -node-workers, or 4 when unset)")
 	)
 	flag.Parse()
 	stop, err := startProfiling()
@@ -40,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "soak:", err)
 		os.Exit(1)
 	}
-	err = run(*runs, *seed, *nodes, *seconds, *stream, *mineIRQ, *svmCacheMB, *svmShrink)
+	err = run(*runs, *seed, *nodes, *seconds, *stream, *mineIRQ, *svmCacheMB, *svmShrink, *nodeWorkers, *parCheck)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
@@ -48,22 +53,42 @@ func main() {
 	}
 }
 
-func run(runs int, seed uint64, nodes int, seconds float64, stream bool, mineIRQ, svmCacheMB int, svmShrink bool) error {
+func run(runs int, seed uint64, nodes int, seconds float64, stream bool, mineIRQ, svmCacheMB int, svmShrink bool, nodeWorkers int, parCheck bool) error {
 	totalIntervals, totalMarkers, totalStreamed, totalMined := 0, 0, 0, 0
 	pool := &lifecycle.ScratchPool{}
+	checkWorkers := nodeWorkers
+	if parCheck && checkWorkers <= 1 {
+		checkWorkers = 4
+	}
+	var stats sim.Stats
 	for i := 0; i < runs; i++ {
 		s := seed + uint64(i)
-		r, err := synth.Generate(synth.Config{
-			Seed:       s,
-			MaxNodes:   6,
-			ExactNodes: nodes,
-			Seconds:    seconds,
-		})
+		cfg := synth.Config{
+			Seed:        s,
+			MaxNodes:    6,
+			ExactNodes:  nodes,
+			Seconds:     seconds,
+			NodeWorkers: nodeWorkers,
+		}
+		if parCheck {
+			// The primary recording is the sequential reference; the
+			// parallel re-recording below must match it byte for byte.
+			cfg.NodeWorkers = 0
+		}
+		r, err := synth.Generate(cfg)
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", s, err)
 		}
 		if err := r.Trace.Validate(); err != nil {
 			return fmt.Errorf("seed %d: invalid trace: %w", s, err)
+		}
+		addStats(&stats, r.Stats)
+		if parCheck {
+			parStats, err := verifyParallel(cfg, r, checkWorkers)
+			if err != nil {
+				return fmt.Errorf("seed %d: %w", s, err)
+			}
+			addStats(&stats, parStats)
 		}
 		for _, nt := range r.Trace.Nodes {
 			totalMarkers += len(nt.Markers)
@@ -101,7 +126,54 @@ func run(runs int, seed uint64, nodes int, seconds float64, stream bool, mineIRQ
 		fmt.Printf("mining cross-check: %d intervals ranked, cached kernel bit-identical to dense\n",
 			totalMined)
 	}
+	if parCheck {
+		fmt.Printf("parallel cross-check: every serialized trace byte-identical at %d node workers\n",
+			checkWorkers)
+	}
+	if nodeWorkers > 1 || parCheck {
+		fmt.Printf("scheduler: %d rounds, %d solo jumps, %d idle jumps, %d parallel sections (%d advances, %d staged events)\n",
+			stats.Rounds, stats.SoloJumps, stats.IdleJumps,
+			stats.ParallelSections, stats.ParallelAdvances, stats.StagedEvents)
+	}
 	return nil
+}
+
+// addStats accumulates one run's scheduler counters into the campaign total.
+func addStats(total *sim.Stats, s sim.Stats) {
+	total.Rounds += s.Rounds
+	total.IdleJumps += s.IdleJumps
+	total.SoloJumps += s.SoloJumps
+	total.ParallelSections += s.ParallelSections
+	total.HorizonBarriers += s.HorizonBarriers
+	total.ParallelAdvances += s.ParallelAdvances
+	total.StagedEvents += s.StagedEvents
+	total.WorkersParked += s.WorkersParked
+	total.WorkersWoken += s.WorkersWoken
+}
+
+// verifyParallel re-records the scenario with parallel node sections and
+// requires the serialized trace to be byte-identical to the sequential
+// reference already recorded (the trace-equivalence gate of the
+// conservative-lookahead scheduler, on live random topologies). It returns
+// the parallel run's scheduler counters.
+func verifyParallel(cfg synth.Config, ref *apps.Run, workers int) (sim.Stats, error) {
+	cfg.NodeWorkers = workers
+	par, err := synth.Generate(cfg)
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("parallel (%d workers): %w", workers, err)
+	}
+	var a, b bytes.Buffer
+	if err := ref.Trace.WriteBinary(&a); err != nil {
+		return sim.Stats{}, err
+	}
+	if err := par.Trace.WriteBinary(&b); err != nil {
+		return sim.Stats{}, err
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		return sim.Stats{}, fmt.Errorf("parallel (%d workers): trace diverges from sequential (%d vs %d bytes)",
+			workers, b.Len(), a.Len())
+	}
+	return par.Stats, nil
 }
 
 // verifyMine ranks one run's intervals through the dense-Gram SVM and

@@ -67,6 +67,9 @@ type Run struct {
 	Vars     map[int]map[string]uint16 // per node: .var name -> RAM address
 	Net      *medium.Network
 	Nodes    map[int]*node.Node
+	// Stats holds the scheduler's per-run counters (rounds, jumps,
+	// parallel sections); see sim.Stats.
+	Stats sim.Stats
 }
 
 // Program returns the binary node id runs.
@@ -120,6 +123,9 @@ type builder struct {
 	// (node SingleStep + sim reference scheduler) instead of the batched
 	// event-horizon engine; used by differential tests.
 	reference bool
+	// parallel bounds how many nodes advance concurrently inside the
+	// scheduler's conservative-lookahead sections; <= 1 stays sequential.
+	parallel int
 }
 
 func newBuilder(seed uint64) *builder {
@@ -212,14 +218,18 @@ func (b *builder) addNode(id int, prog *asm.Result, o nodeOpts) (*node.Node, err
 // execute runs the scenario for the given number of seconds and collects
 // the trace.
 func (b *builder) execute(seconds float64) (*Run, error) {
-	s := sim.New(b.seed, b.nodes, b.net)
-	s.SetReference(b.reference)
+	s := sim.NewWithConfig(sim.Config{
+		Seed:          b.seed,
+		Reference:     b.reference,
+		ParallelNodes: b.parallel,
+	}, b.nodes, b.net)
 	cycles := uint64(seconds * CyclesPerSecond)
 	if err := s.Run(cycles); err != nil {
 		return nil, err
 	}
 	b.run.Trace = s.Trace()
 	b.run.Net = b.net
+	b.run.Stats = s.Stats()
 	return b.run, nil
 }
 

@@ -385,6 +385,11 @@ type CTPConfig struct {
 	// markers from the materialized trace (see OscConfig).
 	Stream         map[int]trace.StreamSink
 	DiscardMarkers bool
+	// NodeWorkers bounds how many nodes advance concurrently inside the
+	// scheduler's conservative-lookahead sections; <= 1 (the default)
+	// keeps node execution sequential, < 0 selects GOMAXPROCS. Traces
+	// are byte-identical at any setting.
+	NodeWorkers int
 }
 
 // RunCTPHeartbeat executes one Case-III run: 9 nodes, two-level tree.
@@ -405,6 +410,7 @@ func RunCTPHeartbeat(cfg CTPConfig) (*Run, error) {
 
 	b := newBuilder(cfg.Seed)
 	b.reference = cfg.Reference
+	b.parallel = cfg.NodeWorkers
 	if _, err := b.addNode(CTPRootID, rootProg, nodeOpts{
 		radio: true,
 		sink:  cfg.Stream[CTPRootID], discard: cfg.DiscardMarkers,

@@ -90,6 +90,12 @@ func (s *Scenario) Link(a, b int, lossProb float64) {
 	s.b.net.AddSymmetricLink(a, b, lossProb)
 }
 
+// SetParallelism bounds how many nodes advance concurrently inside the
+// scheduler's conservative-lookahead sections. w <= 1 (the default) keeps
+// node execution sequential; w < 0 selects GOMAXPROCS. Serialized traces
+// are byte-identical at any setting.
+func (s *Scenario) SetParallelism(w int) { s.b.parallel = w }
+
 // Run executes the scenario for the given wall-clock seconds of simulated
 // time and returns the collected run. A scenario runs once.
 func (s *Scenario) Run(seconds float64) (*Run, error) {

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"sentomist/internal/isa"
+	"sentomist/internal/sim"
 	"sentomist/internal/trace"
 )
 
@@ -26,6 +27,11 @@ type Bundle struct {
 	// Vars maps node ID to its .var name → RAM address table, so
 	// application counters remain inspectable offline.
 	Vars map[int]map[string]uint16
+	// Stats carries the recording scheduler's per-run counters (rounds,
+	// jumps, parallel sections) so record-phase performance stays
+	// diagnosable offline. Zero for bundles saved before the counters
+	// existed; gob tolerates the field's absence in either direction.
+	Stats sim.Stats
 }
 
 // Validate checks internal consistency: a program for every traced node,

@@ -33,8 +33,18 @@ type Config struct {
 	// Labels defaults to core.LabelRunSeq.
 	Labels core.LabelStyle
 	// Workers bounds the pool running scenarios concurrently; <= 0
-	// selects GOMAXPROCS. The ranking is identical at any setting.
+	// selects GOMAXPROCS (divided by NodeWorkers when set, so a campaign
+	// of parallel-emulation runs does not oversubscribe the machine). The
+	// ranking is identical at any setting.
 	Workers int
+	// NodeWorkers is the emulator-side parallelism each run should use
+	// (sim.Config.ParallelNodes): how many nodes advance concurrently
+	// inside one simulation's conservative-lookahead sections. RunFunc
+	// builders pass it into their scenario configs (see
+	// experiments.CaseICampaign); Mine uses it only to budget the default
+	// run pool. Traces, and therefore rankings, are identical at any
+	// setting.
+	NodeWorkers int
 	// SVMCacheBytes bounds the default detector's kernel column cache;
 	// see core.Config.SVMCacheBytes. Rankings are bit-identical at any
 	// budget. Ignored when Detector is set explicitly.
@@ -69,6 +79,13 @@ func Mine(cfg Config, runs []RunFunc) (*core.Ranking, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if cfg.NodeWorkers > 1 {
+			// Each run brings its own node-section workers; shrink the
+			// run-level fan-out so total goroutines stay near GOMAXPROCS.
+			if workers = workers / cfg.NodeWorkers; workers < 1 {
+				workers = 1
+			}
+		}
 	}
 	if workers > len(runs) {
 		workers = len(runs)
@@ -124,5 +141,6 @@ func Mine(cfg Config, runs []RunFunc) (*core.Ranking, error) {
 		Labels:        cfg.Labels,
 		SVMCacheBytes: cfg.SVMCacheBytes,
 		SVMShrinking:  cfg.SVMShrinking,
+		NodeWorkers:   cfg.NodeWorkers,
 	})
 }

@@ -87,6 +87,13 @@ type Config struct {
 	// tolerance but not bitwise-reproducible against the plain path.
 	// Ignored when Detector is set explicitly.
 	SVMShrinking bool
+	// NodeWorkers records the emulator-side parallelism the runs were
+	// recorded with (sim.Config.ParallelNodes), carried here so one config
+	// describes a whole record+mine campaign (campaign.Mine forwards it).
+	// Mining itself consumes already-recorded traces and never reads it;
+	// recorded traces are byte-identical at any setting, so rankings can
+	// never depend on it.
+	NodeWorkers int
 }
 
 // defaultDetector builds the detector used when cfg.Detector is nil: the

@@ -21,6 +21,7 @@ func CaseICampaign(seedBase uint64) (*core.Ranking, error) {
 		runs[i] = func(attach campaign.Attach) error {
 			run, err := apps.RunOscilloscope(apps.OscConfig{
 				PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
+				NodeWorkers: NodeWorkers,
 				Stream: map[int]trace.StreamSink{
 					apps.OscSensorID: attach(apps.OscSensorID),
 				},
@@ -36,8 +37,9 @@ func CaseICampaign(seedBase uint64) (*core.Ranking, error) {
 		}
 	}
 	return campaign.Mine(campaign.Config{
-		IRQ:   dev.IRQADC,
-		Nodes: []int{apps.OscSensorID},
+		IRQ:         dev.IRQADC,
+		Nodes:       []int{apps.OscSensorID},
+		NodeWorkers: NodeWorkers,
 	}, runs)
 }
 
@@ -75,6 +77,7 @@ func caseIRanking(seedBase uint64) (*core.Ranking, error) {
 	for i, d := range CaseIPeriods {
 		run, err := apps.RunOscilloscope(apps.OscConfig{
 			PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
+			NodeWorkers: NodeWorkers,
 		})
 		if err != nil {
 			return nil, err

@@ -27,6 +27,14 @@ const (
 	CaseIIISeed   = 20
 )
 
+// NodeWorkers is the emulator-side parallelism every experiment's record
+// phase uses (sim.Config.ParallelNodes): how many nodes advance
+// concurrently inside each simulation's conservative-lookahead sections.
+// Recorded traces are byte-identical at any setting, so no result in this
+// package depends on it; it only changes how fast the record phases run.
+// The cmd/experiments -node-workers flag sets it before the report starts.
+var NodeWorkers int
+
 // CaseResult summarizes one case-study reproduction.
 type CaseResult struct {
 	Name        string
@@ -63,6 +71,7 @@ func CaseI(seedBase uint64) (*CaseResult, error) {
 			defer wg.Done()
 			runs[i], errs[i] = apps.RunOscilloscope(apps.OscConfig{
 				PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
+				NodeWorkers: NodeWorkers,
 			})
 		}(i, d)
 	}
@@ -89,7 +98,7 @@ func CaseI(seedBase uint64) (*CaseResult, error) {
 
 // CaseII reproduces Figure 5(b): one 20-second forwarding run.
 func CaseII(seed uint64) (*CaseResult, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: case II: %w", err)
 	}
@@ -110,7 +119,7 @@ func CaseII(seed uint64) (*CaseResult, error) {
 
 // CaseIII reproduces Figure 5(c): one 15-second nine-node run.
 func CaseIII(seed uint64) (*CaseResult, error) {
-	run, err := apps.RunCTPHeartbeat(apps.CTPConfig{Seconds: 15, Seed: seed})
+	run, err := apps.RunCTPHeartbeat(apps.CTPConfig{Seconds: 15, Seed: seed, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: case III: %w", err)
 	}
@@ -162,7 +171,7 @@ type VolumeResult struct {
 
 // TraceVolume measures the Case-I run at D = 20 ms.
 func TraceVolume() (*VolumeResult, error) {
-	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase})
+	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +197,7 @@ type EffortResult struct {
 
 // InspectionEffort measures the Case-II workload.
 func InspectionEffort(seed uint64) (*EffortResult, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +236,7 @@ type AblationRow struct {
 
 // DetectorAblation is A1 on Case II.
 func DetectorAblation(seed uint64) ([]AblationRow, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +272,7 @@ func DetectorAblation(seed uint64) ([]AblationRow, error) {
 
 // FeatureAblation is A2 on Case II.
 func FeatureAblation(seed uint64) ([]AblationRow, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +307,7 @@ func FeatureAblation(seed uint64) ([]AblationRow, error) {
 
 // KernelAblation is A3 on Case I run 1.
 func KernelAblation(seed uint64) ([]AblationRow, error) {
-	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: seed})
+	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: seed, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +345,7 @@ func KernelAblation(seed uint64) ([]AblationRow, error) {
 func DustminerBaseline() ([]AblationRow, error) {
 	var rows []AblationRow
 
-	caseIRun, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase})
+	caseIRun, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +357,7 @@ func DustminerBaseline() ([]AblationRow, error) {
 	}
 	rows = append(rows, AblationRow{Name: "Case I (labels supplied)", Extra: score})
 
-	caseIIRun, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: CaseIISeed})
+	caseIIRun, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: CaseIISeed, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +396,7 @@ func dustminerScore(run *apps.Run, nodeID, irq int, oracle func(lifecycle.Interv
 // reports the rank of the first busy-drop per value — the check that the
 // default 0.05 is not a tuned constant.
 func NuSensitivity(seed uint64) ([]AblationRow, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -421,6 +430,7 @@ func SequentialAblation() (preemptive, sequential int, err error) {
 	count := func(seqMode bool) (int, error) {
 		run, err := apps.RunOscilloscope(apps.OscConfig{
 			PeriodMS: 20, Seconds: 10, Seed: 1, Sequential: seqMode,
+			NodeWorkers: NodeWorkers,
 		})
 		if err != nil {
 			return 0, err

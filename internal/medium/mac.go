@@ -57,6 +57,11 @@ type MAC struct {
 	// for half-duplex reception checks.
 	airingUntil uint64
 
+	// staged buffers callbacks created while the network is in a staging
+	// section (concurrent node execution); only this MAC's node writes it,
+	// and the scheduler drains it at the section barrier via CommitStaged.
+	staged []stagedEvent
+
 	// Hot callbacks, bound once at registration: method values allocate a
 	// closure per binding, and these fire on every frame exchange.
 	backoffDoneFn, handshakeFailedFn, finishOKFn  func(uint64)
@@ -121,12 +126,27 @@ func (m *MAC) Submit(now uint64, dst int, payload []byte) bool {
 }
 
 // afterTx schedules fn unless the transmit side has moved on by then.
+// During a staging section the callback is buffered on this MAC instead of
+// the shared queue (the delay is at least MinSubmitDelay there, so it can
+// never come due before the section's barrier).
 func (m *MAC) afterTx(now, delay uint64, fn func(now uint64)) {
+	if m.net.staging {
+		m.staged = append(m.staged, stagedEvent{
+			submitAt: now, at: now + delay, guard: &m.txGen, gen: m.txGen, fn: fn,
+		})
+		return
+	}
 	m.net.scheduleGuarded(now+delay, &m.txGen, m.txGen, fn)
 }
 
 // afterRx schedules fn unless the receive side has moved on by then.
 func (m *MAC) afterRx(now, delay uint64, fn func(now uint64)) {
+	if m.net.staging {
+		m.staged = append(m.staged, stagedEvent{
+			submitAt: now, at: now + delay, guard: &m.rxGen, gen: m.rxGen, fn: fn,
+		})
+		return
+	}
 	m.net.scheduleGuarded(now+delay, &m.rxGen, m.rxGen, fn)
 }
 

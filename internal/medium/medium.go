@@ -166,6 +166,12 @@ type Network struct {
 
 	freeEvents []*event
 	freeTx     []*transmission
+
+	// staging redirects node-initiated MAC callbacks (Submit's backoff
+	// timer) into per-MAC buffers instead of the shared queue, so nodes
+	// may execute concurrently; see BeginStaging.
+	staging       bool
+	stagedScratch []stagedEvent
 }
 
 // NewNetwork creates an empty network drawing randomness from rng.
@@ -307,6 +313,80 @@ func (n *Network) pruneAir(now uint64) {
 		}
 	}
 	n.onAir = kept
+}
+
+// HasMACs reports whether any MAC is registered — i.e. whether node
+// execution can reach the shared event queue at all. Radio-less scenarios
+// still carry an (empty) Network, and schedulers use this to decide whether
+// the MinSubmitDelay lookahead bound applies.
+func (n *Network) HasMACs() bool { return len(n.macs) > 0 }
+
+// MinSubmitDelay is the minimum delay, in cycles, between a node-initiated
+// MAC action and the earliest shared-queue event it can create: Submit
+// always passes through a random backoff of at least one slot. It is the
+// conservative lookahead of the parallel scheduler — a section of strictly
+// fewer cycles can never be invalidated by a concurrent submit.
+const MinSubmitDelay = BackoffSlot
+
+// stagedEvent is a queue entry captured during a staging section instead of
+// being pushed to the shared heap. submitAt (the cycle of the node action
+// that created it) orders the entry against other MACs' staged entries when
+// the section commits.
+type stagedEvent struct {
+	submitAt uint64
+	at       uint64
+	guard    *uint64
+	gen      uint64
+	fn       func(now uint64)
+}
+
+// BeginStaging enters a staging section: until CommitStaged, callbacks
+// scheduled from node execution (MAC.Submit) are buffered on the submitting
+// MAC instead of the shared queue. Within a section each MAC may only be
+// driven by its own node, so concurrent node execution never touches shared
+// network state. Advance must not be called while staging.
+func (n *Network) BeginStaging() { n.staging = true }
+
+// CommitStaged ends a staging section and schedules everything the listed
+// MACs buffered, reproducing the order a sequential lockstep engine would
+// have assigned: ascending submit round (the lockstep grid is anchored at
+// `anchor` with step `quantum`), then list order (callers pass node-index
+// order), then per-MAC submit order. Fresh queue sequence numbers are drawn
+// in exactly that order, so later ties on fire time resolve identically to
+// a sequential run. IDs absent from the network are ignored.
+func (n *Network) CommitStaged(ids []int, anchor, quantum uint64) int {
+	n.staging = false
+	if quantum == 0 {
+		quantum = 1
+	}
+	buf := n.stagedScratch[:0]
+	for _, id := range ids {
+		m, ok := n.macs[id]
+		if !ok {
+			continue
+		}
+		buf = append(buf, m.staged...)
+		m.staged = m.staged[:0]
+	}
+	if len(buf) > 1 {
+		round := func(at uint64) uint64 {
+			if at <= anchor {
+				return anchor
+			}
+			return anchor + quantum*((at-anchor+quantum-1)/quantum)
+		}
+		sort.SliceStable(buf, func(i, j int) bool {
+			return round(buf[i].submitAt) < round(buf[j].submitAt)
+		})
+	}
+	for i := range buf {
+		e := n.newEvent(buf[i].at)
+		e.fn, e.guard, e.gen = buf[i].fn, buf[i].guard, buf[i].gen
+		heap.Push(&n.queue, e)
+		buf[i] = stagedEvent{}
+	}
+	n.stagedScratch = buf[:0]
+	return len(buf)
 }
 
 // linkLoss returns the loss probability of src->dst, and whether the link

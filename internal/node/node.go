@@ -412,6 +412,12 @@ func (n *Node) advanceBatched(target, anchor, quantum uint64, netDirty func() bo
 	jump := quantum != 0
 	limit := target
 	dirty := false
+	// obsIdle, when nonzero, is the lockstep boundary at which the reference
+	// scheduler first observes the node's current idleness: the end of the
+	// round the idle-causing instruction started in. The instruction itself
+	// may complete past that boundary (the crossing instruction finishes),
+	// so the observation point can lie before n.clock.
+	obsIdle := uint64(0)
 
 	// deadAt is the lockstep round the reference scheduler would have
 	// completed, given the clock at which the fatal instruction started.
@@ -462,6 +468,15 @@ func (n *Node) advanceBatched(target, anchor, quantum uint64, netDirty func() bo
 					}
 					return deadAt(n.clock), JumpDead
 				}
+				if jump && !n.Runnable() {
+					// Execution ended with nothing left to run. Like the
+					// HALT case above, the final instruction started one
+					// instruction-cost earlier; the reference scheduler
+					// observes the idleness at the end of that round.
+					if c := idleEventCost(ev); c > 0 {
+						obsIdle = deadAt(n.clock - c)
+					}
+				}
 				continue
 			}
 			if io {
@@ -501,13 +516,23 @@ func (n *Node) advanceBatched(target, anchor, quantum uint64, netDirty func() bo
 		}
 		if jump && !dirty {
 			// Sleeping across a lockstep boundary: yield there so the
-			// scheduler can decide whether another node wakes first.
+			// scheduler can decide whether another node wakes first. The
+			// yield boundary is where the reference scheduler observes the
+			// idleness — usually the next boundary up from the clock, but
+			// one round earlier when the idle-causing instruction overshot
+			// it (obsIdle; the clock then stays past the boundary, exactly
+			// like a reference round whose crossing instruction completed).
 			gb := anchor + quantum*((n.clock-anchor+quantum-1)/quantum)
 			if gb > limit {
 				gb = limit
 			}
+			if obsIdle != 0 && obsIdle < gb {
+				gb = obsIdle
+			}
 			if next > gb {
-				n.clock = gb
+				if n.clock < gb {
+					n.clock = gb
+				}
 				if gb < limit {
 					for _, d := range n.devices {
 						d.Advance(n.clock)
@@ -531,6 +556,24 @@ func (n *Node) advanceBatched(target, anchor, quantum uint64, netDirty func() bo
 		return limit, JumpReached
 	}
 	return n.clock, JumpReached
+}
+
+// idleEventCost returns the cycle cost of the instruction behind an OS
+// event that can end execution (RET, RETI, SLEEP, OSRUN); zero for events
+// that cannot. Each such event maps to exactly one instruction, so the
+// instruction's start clock can be recovered from the clock after it.
+func idleEventCost(ev mcu.Event) uint64 {
+	switch ev {
+	case mcu.EvTaskRet:
+		return uint64(isa.RET.Spec().Cycles)
+	case mcu.EvIntRet:
+		return uint64(isa.RETI.Spec().Cycles)
+	case mcu.EvSleep:
+		return uint64(isa.SLEEP.Spec().Cycles)
+	case mcu.EvOSRun:
+		return uint64(isa.OSRUN.Spec().Cycles)
+	}
+	return 0
 }
 
 // executing reports whether the CPU itself has an active control flow.

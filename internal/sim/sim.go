@@ -27,6 +27,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"sentomist/internal/medium"
 	"sentomist/internal/node"
@@ -57,6 +58,43 @@ type Sim struct {
 	lastTarget  []uint64 // last boundary the node actually advanced to
 	mustAdvance []bool   // raised by the medium mid-round; advance this round
 	heap        *wakeHeap
+
+	// Parallel-section state (see parallel.go). workers <= 1 keeps the
+	// engine fully sequential.
+	workers  int
+	pool     *nodePool
+	members  []sectionTask // scratch: section pass tasks
+	sectIDs  []int         // scratch: advanced-node IDs for the staging barrier
+	sectStop []uint64      // scratch: per-node section stop boundary
+	sectDead []bool        // scratch: per-node section death flag
+
+	stats Stats
+}
+
+// Config bundles the scheduler knobs New leaves at their defaults.
+type Config struct {
+	// Seed is recorded in the resulting trace for reproducibility.
+	Seed uint64
+	// Quantum overrides the lockstep quantum; 0 selects DefaultQuantum.
+	Quantum uint64
+	// Reference selects the fixed-quantum reference scheduler.
+	Reference bool
+	// ParallelNodes bounds how many nodes advance concurrently inside
+	// conservative-lookahead sections; <= 1 (the default) keeps node
+	// execution sequential, < 0 selects GOMAXPROCS. Traces are
+	// byte-identical at any setting.
+	ParallelNodes int
+}
+
+// NewWithConfig creates a simulation with explicit scheduler knobs.
+func NewWithConfig(cfg Config, nodes []*node.Node, net *medium.Network) *Sim {
+	s := New(cfg.Seed, nodes, net)
+	if cfg.Quantum != 0 {
+		s.SetQuantum(cfg.Quantum)
+	}
+	s.SetReference(cfg.Reference)
+	s.SetParallelism(cfg.ParallelNodes)
+	return s
 }
 
 // New creates a simulation over the given nodes and (optionally nil)
@@ -78,6 +116,17 @@ func (s *Sim) SetQuantum(q uint64) {
 // the event-horizon engine and is substantially slower.
 func (s *Sim) SetReference(on bool) { s.reference = on }
 
+// SetParallelism bounds how many nodes advance concurrently inside
+// conservative-lookahead sections. w <= 1 keeps node execution sequential
+// (the default); w < 0 selects GOMAXPROCS. Serialized traces are
+// byte-identical at any setting.
+func (s *Sim) SetParallelism(w int) {
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	s.workers = w
+}
+
 // Clock returns the current global cycle time.
 func (s *Sim) Clock() uint64 { return s.clock }
 
@@ -88,6 +137,14 @@ func (s *Sim) Run(until uint64) error {
 		return s.runReference(until)
 	}
 	s.init()
+	// The pool is created lazily by the first section; park its workers
+	// for good on exit so sims do not leak goroutines (campaigns create
+	// thousands of them).
+	defer func() {
+		if s.pool != nil {
+			s.pool.quiesce(&s.stats)
+		}
+	}()
 	for s.clock < until {
 		nRun, rIdx, alive := s.scan()
 		if !alive {
@@ -95,9 +152,19 @@ func (s *Sim) Run(until uint64) error {
 		}
 		if nRun == 1 {
 			if x := s.jumpTarget(until, rIdx); x > s.clock+s.quantum {
+				s.stats.SoloJumps++
 				if err := s.jump(rIdx, x); err != nil {
 					return err
 				}
+				continue
+			}
+		}
+		if nRun >= 2 && s.workers > 1 {
+			ran, err := s.trySection(until)
+			if err != nil {
+				return err
+			}
+			if ran {
 				continue
 			}
 		}
@@ -108,11 +175,13 @@ func (s *Sim) Run(until uint64) error {
 			if t <= s.clock {
 				t = s.clock + 1
 			}
+			s.stats.IdleJumps++
 		} else {
 			t = s.clock + s.quantum
 			if t > until {
 				t = until
 			}
+			s.stats.Rounds++
 		}
 		if err := s.round(t); err != nil {
 			return err
@@ -175,6 +244,8 @@ func (s *Sim) init() {
 	s.wake = make([]uint64, n)
 	s.lastTarget = make([]uint64, n)
 	s.mustAdvance = make([]bool, n)
+	s.sectStop = make([]uint64, n)
+	s.sectDead = make([]bool, n)
 	s.heap = newWakeHeap(n, s.wake)
 	for i := range s.nodes {
 		i := i

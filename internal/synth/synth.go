@@ -26,6 +26,11 @@ type Config struct {
 	ExactNodes int
 	// Seconds is the simulated run length (default 0.5).
 	Seconds float64
+	// NodeWorkers bounds how many nodes advance concurrently inside the
+	// scheduler's conservative-lookahead sections; <= 1 (the default)
+	// keeps node execution sequential, < 0 selects GOMAXPROCS. Traces
+	// are byte-identical at any setting.
+	NodeWorkers int
 }
 
 // Generate builds and executes a random scenario, returning the finished
@@ -47,6 +52,7 @@ func Generate(cfg Config) (*apps.Run, error) {
 	}
 
 	s := apps.NewScenario(cfg.Seed)
+	s.SetParallelism(cfg.NodeWorkers)
 	withRadio := nNodes > 1 && rng.Bool(0.7)
 	for id := 0; id < nNodes; id++ {
 		g := &progGen{rng: rng.Split(uint64(id) + 17), radio: withRadio, nodeID: id, nNodes: nNodes}

@@ -46,6 +46,7 @@ import (
 	"sentomist/internal/isa"
 	"sentomist/internal/lifecycle"
 	"sentomist/internal/outlier"
+	"sentomist/internal/sim"
 	"sentomist/internal/svm"
 	"sentomist/internal/trace"
 )
@@ -199,6 +200,9 @@ type (
 	NodeSpec = apps.NodeSpec
 	// Run is a finished simulation: trace, programs, network, nodes.
 	Run = apps.Run
+	// SimStats are the recording scheduler's per-run counters (rounds,
+	// jumps, parallel sections); Run.Stats and Bundle.Stats carry them.
+	SimStats = sim.Stats
 )
 
 // NewScenario creates an empty scenario whose randomness derives from seed.
@@ -322,7 +326,7 @@ type Bundle = bundle.Bundle
 
 // SaveBundle persists a finished run to path.
 func SaveBundle(run *Run, path string) error {
-	b := &Bundle{Trace: run.Trace, Programs: run.Programs, Vars: run.Vars}
+	b := &Bundle{Trace: run.Trace, Programs: run.Programs, Vars: run.Vars, Stats: run.Stats}
 	return b.SaveFile(path)
 }
 
