@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-svm bench-all golden clean
+.PHONY: all build test race vet bench bench-svm bench-online bench-all golden clean
 
 all: build vet test
 
@@ -28,6 +28,12 @@ bench:
 bench-svm:
 	$(GO) test -run xxx -bench 'BenchmarkSparseOps' -benchmem ./internal/stats/
 	$(GO) test -run xxx -bench 'BenchmarkTrain|BenchmarkKernelEval' -benchmem -timeout 60m ./internal/svm/
+
+# The online-mining benchmarks behind BENCH_PR7.json: warm vs cold refits
+# at the l=10k campaign size, and the ingest-only spill path (several
+# minutes on one core).
+bench-online:
+	$(GO) test -run xxx -bench 'BenchmarkOnlineMine|BenchmarkOnlineIngest' -benchmem -timeout 60m ./internal/core/
 
 # Every benchmark, including the paper-evaluation harness (slow).
 bench-all:

@@ -3,6 +3,7 @@ package sentomist_test
 import (
 	"testing"
 
+	"sentomist"
 	"sentomist/internal/experiments"
 	"sentomist/internal/svm"
 	"sentomist/internal/synth"
@@ -61,6 +62,85 @@ const (
 	maxCachedTrainBytes  = 8_000_000
 	maxCachedTrainAllocs = 6_000
 )
+
+// Online-ingest allocation thresholds: 1500 block-jittered counters
+// streamed through the filter → scale-statistics → columnar-disk-spill path
+// with refits disabled (the between-refit resident regime). The canonical
+// measurement is ~4.15 MB/op and ~4,800 allocs/op (BENCH_PR7.json) — the
+// traffic is dominated by the per-interval counter copies the ingest
+// contract requires — and the ceilings carry ~40% headroom for runner
+// variance.
+const (
+	onlineIngestSamples   = 1500
+	onlineIngestDim       = 512
+	onlineIngestBatches   = 16
+	maxOnlineIngestBytes  = 6_500_000
+	maxOnlineIngestAllocs = 7_000
+)
+
+// TestOnlineIngestAllocBudget guards the online miner's ingest path: with
+// intervals spilling to disk, allocation traffic must stay proportional to
+// the counters ingested (copy + spill buffers), not creep toward holding the
+// scaled training set resident between refits.
+func TestOnlineIngestAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts; CI guards allocations in a non-race step")
+	}
+	counters := synth.LargeCampaign(synth.LargeCampaignConfig{
+		Seed: 11, Samples: onlineIngestSamples, Dim: onlineIngestDim,
+		BlockJitter: true, AnomalyRate: -1,
+	})
+	per := (onlineIngestSamples + onlineIngestBatches - 1) / onlineIngestBatches
+	var batches []sentomist.MineBatch
+	for start := 0; start < onlineIngestSamples; start += per {
+		end := start + per
+		if end > onlineIngestSamples {
+			end = onlineIngestSamples
+		}
+		b := sentomist.MineBatch{Run: len(batches) + 1}
+		for i := start; i < end; i++ {
+			b.Intervals = append(b.Intervals, sentomist.Interval{
+				IRQ: 1, Seq: i, Node: 1, Complete: true, EndsWithTask: true,
+			})
+			b.Counters = append(b.Counters, counters[i])
+		}
+		batches = append(batches, b)
+	}
+	spillDir := t.TempDir()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := sentomist.NewOnlineMiner(sentomist.OnlineMineConfig{
+				Config:   sentomist.MineConfig{IRQ: 1},
+				SpillDir: spillDir,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range batches {
+				if err := m.Add(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := m.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	allocs := res.AllocsPerOp()
+	bytes := res.AllocedBytesPerOp()
+	t.Logf("online ingest (l=%d, disk spill): %d allocs/op, %d B/op over %d op(s)",
+		onlineIngestSamples, allocs, bytes, res.N)
+	if bytes > maxOnlineIngestBytes {
+		t.Errorf("B/op regressed: %d > %d (threshold; see BENCH_PR7.json)", bytes, maxOnlineIngestBytes)
+	}
+	if allocs > maxOnlineIngestAllocs {
+		t.Errorf("allocs/op regressed: %d > %d (threshold; see BENCH_PR7.json)", allocs, maxOnlineIngestAllocs)
+	}
+}
 
 // TestCachedTrainingAllocBudget guards the on-demand kernel cache's
 // allocation profile: training at a fixed budget must stay bounded by the

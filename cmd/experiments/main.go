@@ -150,6 +150,25 @@ func run() error {
 	}
 	fmt.Println()
 
+	// E7: online incremental mining.
+	fmt.Println("E7 — online incremental mining (warm refits, streaming top-K, columnar spill)")
+	t0 = time.Now()
+	oSamples, oRefits, oConfigs, oEqual, err := experiments.OnlineEquivalence(experiments.CaseISeedBase)
+	elapsed = time.Since(t0)
+	if err != nil {
+		return err
+	}
+	verdict = "bit-identical to the one-shot campaign"
+	if !oEqual {
+		verdict = "DIVERGED from the one-shot campaign"
+	}
+	fmt.Printf("  Case I at %d worker/cadence/spill configs in %v: %d samples, %d intermediate refits, finalized rankings %s\n",
+		oConfigs, elapsed.Round(time.Millisecond), oSamples, oRefits, verdict)
+	if !oEqual {
+		return fmt.Errorf("online mining ranking diverged")
+	}
+	fmt.Println()
+
 	// A5: simulator fidelity.
 	pre, seqMode, err := experiments.SequentialAblation()
 	if err != nil {

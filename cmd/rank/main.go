@@ -27,6 +27,9 @@ type options struct {
 	parallelism int
 	svmCacheMB  int
 	svmShrink   bool
+	onlineRefit int
+	onlineTopK  int
+	spillDir    string
 }
 
 func main() {
@@ -40,6 +43,9 @@ func main() {
 	flag.IntVar(&opt.parallelism, "parallelism", 0, "worker pool for anatomize/feature and the SVM Gram build (0 = GOMAXPROCS, 1 = sequential); the ranking is identical at any setting")
 	flag.IntVar(&opt.svmCacheMB, "svm-cache-mb", 0, "train the SVM through an on-demand kernel column cache bounded to this many MiB instead of materializing the full Gram matrix (0 = materialize when it fits); the ranking is bit-identical at any budget")
 	flag.BoolVar(&opt.svmShrink, "svm-shrink", false, "enable the SMO shrinking heuristic for large campaigns (same ranking up to the solver tolerance, not bitwise)")
+	flag.IntVar(&opt.onlineRefit, "online-refit", 0, "rank as you go: refit the SVM warm every N ingested batches and print each intermediate top-K; the final ranking is bit-identical to the one-shot path (svm detector only)")
+	flag.IntVar(&opt.onlineTopK, "online-topk", 10, "intermediate rankings keep the K most suspicious intervals (with -online-refit)")
+	flag.StringVar(&opt.spillDir, "spill-dir", "", "spill featured intervals to a columnar SENTCOL1 file in this directory instead of holding them in memory between refits (with -online-refit; results identical)")
 	flag.Parse()
 	if opt.irq == 0 || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "rank: usage: rank -irq N [-nodes 1,2] trace [trace...]")
@@ -103,6 +109,9 @@ func run(opt options, paths []string) error {
 	if len(paths) == 1 {
 		labels = sentomist.LabelNodeSeq
 	}
+	if opt.onlineRefit > 0 || opt.spillDir != "" {
+		return runOnline(opt, inputs, nodeIDs, labels)
+	}
 	ranking, err := sentomist.Mine(inputs, sentomist.MineConfig{
 		IRQ:         opt.irq,
 		Nodes:       nodeIDs,
@@ -114,6 +123,69 @@ func run(opt options, paths []string) error {
 		return err
 	}
 	fmt.Printf("%d intervals (%d excluded as incomplete), %d dims, detector %s:\n\n",
+		len(ranking.Samples), ranking.Excluded, ranking.Dim, ranking.Detector)
+	fmt.Print(ranking.Table(opt.top, opt.bottom))
+	return nil
+}
+
+// runOnline is the rank-as-you-go path: traces become a batch stream, the
+// online miner refits warm every -online-refit batches printing each
+// intermediate top-K, and the final table comes from Finalize — bit-identical
+// to the one-shot path over the same traces.
+func runOnline(opt options, inputs []sentomist.RunInput, nodeIDs []int, labels sentomist.LabelStyle) error {
+	if strings.ToLower(opt.detector) != "svm" {
+		return fmt.Errorf("-online-refit drives the incremental one-class SVM; -detector %s is not supported online", opt.detector)
+	}
+	if opt.nu != 0.05 {
+		return fmt.Errorf("online mining uses the default nu = 0.05; -nu cannot be changed")
+	}
+	cfg := sentomist.MineConfig{
+		IRQ:           opt.irq,
+		Nodes:         nodeIDs,
+		Labels:        labels,
+		Parallelism:   opt.parallelism,
+		SVMCacheBytes: int64(opt.svmCacheMB) << 20,
+		SVMShrinking:  opt.svmShrink,
+	}
+	batches, err := sentomist.ExtractBatches(inputs, cfg)
+	if err != nil {
+		return err
+	}
+	miner, err := sentomist.NewOnlineMiner(sentomist.OnlineMineConfig{
+		Config:     cfg,
+		RefitEvery: opt.onlineRefit,
+		TopK:       opt.onlineTopK,
+		SpillDir:   opt.spillDir,
+		OnRanking: func(r *sentomist.OnlineRanking) {
+			mode := "warm"
+			if !r.Warm {
+				mode = "cold"
+			}
+			if r.Rebuilt {
+				mode += "+rebuilt-cache"
+			}
+			fmt.Printf("refit %d (%s): %d batches, %d intervals, %d iters — top %d:\n",
+				r.Refit, mode, r.Batches, r.Total, r.Iters, len(r.Samples))
+			for i, s := range r.Samples {
+				fmt.Printf("  #%-3d run %d seq %d node %d  score %.6f\n",
+					i+1, s.Run, s.Interval.Seq, s.Interval.Node, s.Score)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range batches {
+		if err := miner.Add(b); err != nil {
+			miner.Close()
+			return err
+		}
+	}
+	ranking, err := miner.Finalize()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfinal: %d intervals (%d excluded as incomplete), %d dims, detector %s:\n\n",
 		len(ranking.Samples), ranking.Excluded, ranking.Dim, ranking.Detector)
 	fmt.Print(ranking.Table(opt.top, opt.bottom))
 	return nil

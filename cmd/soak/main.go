@@ -36,6 +36,7 @@ func main() {
 		mineIRQ     = flag.Int("mine-irq", 0, "also mine every run's intervals of this event type and cross-check the cached-kernel SVM ranking against the dense path bitwise (0 = off)")
 		svmCacheMB  = flag.Int("svm-cache-mb", 1, "kernel column cache budget (MiB) for the cached side of the -mine-irq cross-check")
 		svmShrink   = flag.Bool("svm-shrink", false, "additionally exercise the shrinking heuristic on every -mine-irq problem (checked against the dense ranking to the solver tolerance)")
+		onlineCheck = flag.Bool("online-check", false, "additionally run every -mine-irq problem through the online miner (refit every batch, warm starts, spill) and require the finalized ranking to be bit-identical to one-shot MineBatches")
 		nodeWorkers = flag.Int("node-workers", 0, "emulator-side parallelism per scenario (sim.Config.ParallelNodes); traces are byte-identical at any setting (<= 1 = sequential)")
 		parCheck    = flag.Bool("par-check", false, "record every scenario twice — sequentially and with parallel node sections — and require the serialized traces to be byte-identical (uses -node-workers, or 4 when unset)")
 	)
@@ -45,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "soak:", err)
 		os.Exit(1)
 	}
-	err = run(*runs, *seed, *nodes, *seconds, *stream, *mineIRQ, *svmCacheMB, *svmShrink, *nodeWorkers, *parCheck)
+	err = run(*runs, *seed, *nodes, *seconds, *stream, *mineIRQ, *svmCacheMB, *svmShrink, *onlineCheck, *nodeWorkers, *parCheck)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
@@ -53,8 +54,12 @@ func main() {
 	}
 }
 
-func run(runs int, seed uint64, nodes int, seconds float64, stream bool, mineIRQ, svmCacheMB int, svmShrink bool, nodeWorkers int, parCheck bool) error {
+func run(runs int, seed uint64, nodes int, seconds float64, stream bool, mineIRQ, svmCacheMB int, svmShrink, onlineCheck bool, nodeWorkers int, parCheck bool) error {
+	if onlineCheck && mineIRQ == 0 {
+		return fmt.Errorf("-online-check needs -mine-irq to select the event type")
+	}
 	totalIntervals, totalMarkers, totalStreamed, totalMined := 0, 0, 0, 0
+	totalOnline, totalRefits := 0, 0
 	pool := &lifecycle.ScratchPool{}
 	checkWorkers := nodeWorkers
 	if parCheck && checkWorkers <= 1 {
@@ -111,6 +116,14 @@ func run(runs int, seed uint64, nodes int, seconds float64, stream bool, mineIRQ
 				return fmt.Errorf("seed %d: %w", s, err)
 			}
 			totalMined += n
+			if onlineCheck {
+				n, refits, err := verifyOnline(r.Trace, mineIRQ)
+				if err != nil {
+					return fmt.Errorf("seed %d: %w", s, err)
+				}
+				totalOnline += n
+				totalRefits += refits
+			}
 		}
 		if (i+1)%25 == 0 {
 			fmt.Printf("%d/%d scenarios ok (%d intervals verified)\n", i+1, runs, totalIntervals)
@@ -125,6 +138,10 @@ func run(runs int, seed uint64, nodes int, seconds float64, stream bool, mineIRQ
 	if mineIRQ != 0 {
 		fmt.Printf("mining cross-check: %d intervals ranked, cached kernel bit-identical to dense\n",
 			totalMined)
+	}
+	if onlineCheck {
+		fmt.Printf("online cross-check: %d intervals through %d warm refits, finalized rankings bit-identical to one-shot\n",
+			totalOnline, totalRefits)
 	}
 	if parCheck {
 		fmt.Printf("parallel cross-check: every serialized trace byte-identical at %d node workers\n",
@@ -228,6 +245,61 @@ func verifyMine(t *trace.Trace, irq int, cacheBytes int64, shrink bool) (int, er
 		}
 	}
 	return len(dense.Samples), nil
+}
+
+// verifyOnline streams one run's batches through the online miner — refit
+// after every batch, warm starts, intermediate top-5 rankings — and requires
+// the finalized ranking to be bit-identical to one-shot MineBatches over the
+// same batch stream. Runs without intervals of the event type are skipped.
+func verifyOnline(t *trace.Trace, irq int) (intervals, refits int, err error) {
+	cfg := core.Config{IRQ: irq, Nodes: []int{0}}
+	// MineBatches scales counters in place, so each side gets its own
+	// freshly extracted batch stream.
+	oneShot, err := core.ExtractBatches([]core.RunInput{{Trace: t}}, cfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("online: %w", err)
+	}
+	want, err := core.MineBatches(oneShot, cfg)
+	if errors.Is(err, core.ErrNoIntervals) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	batches, err := core.ExtractBatches([]core.RunInput{{Trace: t}}, cfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("online: %w", err)
+	}
+	miner, err := core.NewOnlineMiner(core.OnlineConfig{
+		Config:     cfg,
+		RefitEvery: 1,
+		TopK:       5,
+		OnRanking:  func(*core.OnlineRanking) { refits++ },
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, b := range batches {
+		if err := miner.Add(b); err != nil {
+			miner.Close()
+			return 0, 0, fmt.Errorf("online: %w", err)
+		}
+	}
+	got, err := miner.Finalize()
+	if err != nil {
+		return 0, 0, fmt.Errorf("online: %w", err)
+	}
+	if len(got.Samples) != len(want.Samples) || got.Excluded != want.Excluded {
+		return 0, 0, fmt.Errorf("online: %d samples (%d excluded), one-shot %d (%d)",
+			len(got.Samples), got.Excluded, len(want.Samples), want.Excluded)
+	}
+	for i := range want.Samples {
+		if got.Samples[i] != want.Samples[i] {
+			return 0, 0, fmt.Errorf("online: rank %d diverges: online %+v, one-shot %+v",
+				i+1, got.Samples[i], want.Samples[i])
+		}
+	}
+	return len(want.Samples), refits, nil
 }
 
 // verifyStream replays the node's markers through the online anatomizer and

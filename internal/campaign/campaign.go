@@ -52,6 +52,24 @@ type Config struct {
 	// SVMShrinking enables the default detector's shrinking heuristic;
 	// see core.Config.SVMShrinking. Ignored when Detector is set.
 	SVMShrinking bool
+	// Online, when set, switches Mine to the streaming path: finished
+	// runs are fed to a core.OnlineMiner as they complete (strictly in
+	// run order, whatever order the workers finish in), intermediate
+	// top-K rankings are published per Online.RefitEvery, and the final
+	// ranking comes from OnlineMiner.Finalize — bit-identical to the
+	// default one-shot path. Requires Detector == nil.
+	Online *OnlineOptions
+}
+
+// OnlineOptions carries the rank-as-you-go knobs into core.OnlineConfig;
+// see the field docs there.
+type OnlineOptions struct {
+	RefitEvery int
+	TopK       int
+	SpillDir   string
+	SpillBlock int
+	ColdRefits bool
+	OnRanking  func(*core.OnlineRanking)
 }
 
 // Attach is handed to each RunFunc; calling it creates the online
@@ -91,6 +109,9 @@ func Mine(cfg Config, runs []RunFunc) (*core.Ranking, error) {
 		workers = len(runs)
 	}
 	pool := &lifecycle.ScratchPool{}
+	if cfg.Online != nil {
+		return mineOnline(cfg, runs, workers, pool)
+	}
 	type runOut struct {
 		streamers []*lifecycle.Streamer
 		err       error
@@ -143,4 +164,111 @@ func Mine(cfg Config, runs []RunFunc) (*core.Ranking, error) {
 		SVMShrinking:  cfg.SVMShrinking,
 		NodeWorkers:   cfg.NodeWorkers,
 	})
+}
+
+// mineOnline is Mine's streaming arm: workers finalize each run's streamers
+// into batches as the run finishes, and a collector ingests them into a
+// core.OnlineMiner strictly in run order (a pending map holds batches from
+// runs that finished ahead of their turn). The final ranking replays the
+// spill through the identical scale → score → rank tail, so it is
+// bit-identical to the one-shot path at any worker count or refit cadence.
+// The first error encountered aborts the campaign, which may be a
+// later-indexed run than the one-shot path would report.
+func mineOnline(cfg Config, runs []RunFunc, workers int, pool *lifecycle.ScratchPool) (*core.Ranking, error) {
+	if cfg.Detector != nil {
+		return nil, fmt.Errorf("campaign: online mining drives the incremental one-class SVM; Detector must be nil")
+	}
+	miner, err := core.NewOnlineMiner(core.OnlineConfig{
+		Config: core.Config{
+			IRQ:           cfg.IRQ,
+			Nodes:         cfg.Nodes,
+			Labels:        cfg.Labels,
+			SVMCacheBytes: cfg.SVMCacheBytes,
+			SVMShrinking:  cfg.SVMShrinking,
+			NodeWorkers:   cfg.NodeWorkers,
+		},
+		RefitEvery: cfg.Online.RefitEvery,
+		TopK:       cfg.Online.TopK,
+		SpillDir:   cfg.Online.SpillDir,
+		SpillBlock: cfg.Online.SpillBlock,
+		ColdRefits: cfg.Online.ColdRefits,
+		OnRanking:  cfg.Online.OnRanking,
+	})
+	if err != nil {
+		return nil, err
+	}
+	type runOut struct {
+		run     int
+		batches []core.Batch
+		err     error
+	}
+	jobs := make(chan int)
+	results := make(chan runOut)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				var streamers []*lifecycle.Streamer
+				attach := func(nodeID int) trace.StreamSink {
+					s := lifecycle.NewStreamer(nodeID, pool).Keep(cfg.IRQ)
+					streamers = append(streamers, s)
+					return s
+				}
+				out := runOut{run: r, err: runs[r](attach)}
+				if out.err == nil {
+					for _, s := range streamers {
+						ivs, cnts, ferr := s.Finalize()
+						if ferr != nil {
+							out.err = ferr
+							break
+						}
+						out.batches = append(out.batches, core.Batch{Run: r + 1, Intervals: ivs, Counters: cnts})
+					}
+				}
+				results <- out
+			}
+		}()
+	}
+	go func() {
+		for r := range runs {
+			jobs <- r
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	pending := make(map[int][]core.Batch, workers)
+	next := 0
+	var firstErr error
+	for out := range results {
+		if firstErr != nil {
+			continue // drain the pool
+		}
+		if out.err != nil {
+			firstErr = fmt.Errorf("campaign: run %d: %w", out.run+1, out.err)
+			continue
+		}
+		pending[out.run] = out.batches
+		for firstErr == nil {
+			bs, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			for _, b := range bs {
+				if err := miner.Add(b); err != nil {
+					firstErr = err
+					break
+				}
+			}
+		}
+	}
+	if firstErr != nil {
+		miner.Close()
+		return nil, firstErr
+	}
+	return miner.Finalize()
 }

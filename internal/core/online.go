@@ -1,0 +1,591 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"sentomist/internal/feature"
+	"sentomist/internal/lifecycle"
+	"sentomist/internal/outlier"
+	"sentomist/internal/stats"
+	"sentomist/internal/svm"
+	"sentomist/internal/trace"
+)
+
+// OnlineConfig parameterizes an OnlineMiner. The embedded Config supplies
+// the filter and detector knobs MineBatches reads; Detector must be nil —
+// online mining drives the incremental one-class SVM directly, which is
+// what makes warm refits possible.
+type OnlineConfig struct {
+	Config
+
+	// RefitEvery refits the detector after every N ingested batches and
+	// publishes an intermediate ranking; 0 disables intermediate refits
+	// (only Finalize scores).
+	RefitEvery int
+	// TopK bounds intermediate rankings to the K most suspicious
+	// intervals (default 100). Finalize always returns the full ranking.
+	TopK int
+	// SpillDir, when set, spills featured intervals to a columnar
+	// SENTCOL1 file in that directory (created if missing) instead of
+	// keeping them in memory; refits and Finalize replay the file
+	// sequentially. Between refits the
+	// resident footprint is then O(dim + topK + intervals·8B of warm
+	// coefficients) rather than O(intervals·nnz).
+	SpillDir string
+	// SpillBlock is how many intervals are buffered before a spill block
+	// is written (default 512). Format framing only; results are
+	// identical at any value.
+	SpillBlock int
+	// ColdRefits discards the warm solver state before every refit — the
+	// benchmark baseline against which warm refits are measured.
+	ColdRefits bool
+	// OnRanking, when set, receives every intermediate ranking.
+	OnRanking func(*OnlineRanking)
+}
+
+// OnlineRanking is one intermediate refit's output: the top-K most
+// suspicious intervals so far, with refit provenance.
+type OnlineRanking struct {
+	// Refit is the 1-based refit sequence number.
+	Refit int
+	// Batches and Total are how many batches and scored intervals had
+	// been ingested when this refit ran; Excluded counts incomplete
+	// intervals dropped so far.
+	Batches, Total, Excluded int
+	// Samples holds the K most suspicious intervals, ascending by
+	// (normalized score, ingest position) — the prefix of exactly the
+	// ranking MineBatches would publish for this detector state.
+	Samples []Sample
+	// Warm reports whether the refit started from the previous optimum;
+	// Rebuilt whether the kernel cache had to be discarded because the
+	// effective feature scale moved. Iters/CacheHits/CacheMisses are the
+	// refit's solver diagnostics.
+	Warm, Rebuilt bool
+	Iters         int
+	CacheHits     int64
+	CacheMisses   int64
+}
+
+// spillStore holds featured intervals between ingest and replay. Both
+// implementations preserve ingest order and return counters bit-identical
+// to what was appended.
+type spillStore interface {
+	append(meta [][]int64, counters []stats.Sparse) error
+	// replay streams every stored block, in order. The yielded slices are
+	// owned by the callback for the in-memory store's final replay and
+	// freshly allocated for the file store; callers may mutate counters
+	// only on a terminal replay (Finalize).
+	replay(fn func(meta [][]int64, counters []stats.Sparse) error) error
+	close() error
+}
+
+// memStore keeps spilled blocks in memory — the SpillDir=="" mode.
+type memStore struct {
+	meta [][]int64
+	cnt  []stats.Sparse
+}
+
+func (s *memStore) append(meta [][]int64, counters []stats.Sparse) error {
+	s.meta = append(s.meta, meta...)
+	s.cnt = append(s.cnt, counters...)
+	return nil
+}
+
+func (s *memStore) replay(fn func([][]int64, []stats.Sparse) error) error {
+	if len(s.cnt) == 0 {
+		return nil
+	}
+	return fn(s.meta, s.cnt)
+}
+
+func (s *memStore) close() error { return nil }
+
+// fileStore spills blocks to a SENTCOL1 file, buffering up to blockSize
+// intervals before each append.
+type fileStore struct {
+	path      string
+	f         *os.File
+	bw        *bufio.Writer
+	w         *trace.ColWriter
+	blockMeta [][]int64
+	blockCnt  []stats.Sparse
+	blockSize int
+}
+
+func newFileStore(dir string, metaWidth, blockSize int) (*fileStore, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: create spill dir: %w", err)
+		}
+	}
+	f, err := os.CreateTemp(dir, "sentomist-spill-*.col")
+	if err != nil {
+		return nil, fmt.Errorf("core: create spill: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	w, err := trace.NewColWriter(bw, metaWidth)
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &fileStore{path: f.Name(), f: f, bw: bw, w: w, blockSize: blockSize}, nil
+}
+
+func (s *fileStore) append(meta [][]int64, counters []stats.Sparse) error {
+	s.blockMeta = append(s.blockMeta, meta...)
+	s.blockCnt = append(s.blockCnt, counters...)
+	if len(s.blockCnt) >= s.blockSize {
+		return s.flushBlock()
+	}
+	return nil
+}
+
+func (s *fileStore) flushBlock() error {
+	if len(s.blockCnt) == 0 {
+		return nil
+	}
+	if err := s.w.Append(s.blockMeta, s.blockCnt); err != nil {
+		return err
+	}
+	s.blockMeta, s.blockCnt = s.blockMeta[:0], s.blockCnt[:0]
+	return nil
+}
+
+func (s *fileStore) replay(fn func([][]int64, []stats.Sparse) error) error {
+	if err := s.flushBlock(); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("core: flush spill: %w", err)
+	}
+	r, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("core: reopen spill: %w", err)
+	}
+	defer r.Close()
+	cr, err := trace.NewColReader(bufio.NewReader(r))
+	if err != nil {
+		return err
+	}
+	for {
+		meta, cnt, err := cr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(meta, cnt); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *fileStore) close() error {
+	err := s.f.Close()
+	if rmErr := os.Remove(s.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// metaFields is the spill row width: the sample's run index plus every
+// lifecycle.Interval field, so a replayed ranking labels and sorts exactly
+// like one mined from live batches.
+const metaFields = 13
+
+func encodeMeta(run int, iv lifecycle.Interval) []int64 {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return []int64{
+		int64(run), int64(iv.IRQ), int64(iv.Seq), int64(iv.Node),
+		int64(iv.StartItem), int64(iv.EndItem),
+		int64(iv.StartMarker), int64(iv.EndMarker),
+		int64(iv.StartCycle), int64(iv.EndCycle),
+		b2i(iv.EndsWithTask), b2i(iv.Complete), int64(iv.Truth),
+	}
+}
+
+func decodeMeta(row []int64) Sample {
+	return Sample{
+		Run: int(row[0]),
+		Interval: lifecycle.Interval{
+			IRQ: int(row[1]), Seq: int(row[2]), Node: int(row[3]),
+			StartItem: int(row[4]), EndItem: int(row[5]),
+			StartMarker: int(row[6]), EndMarker: int(row[7]),
+			StartCycle: uint64(row[8]), EndCycle: uint64(row[9]),
+			EndsWithTask: row[10] != 0, Complete: row[11] != 0,
+			Truth: int(row[12]),
+		},
+	}
+}
+
+// OnlineMiner is the streaming counterpart of MineBatches: batches are
+// ingested as their runs finish, the detector is refit periodically with
+// warm starts (svm.Incremental), and intermediate top-K rankings are
+// published along the way. Finalize replays every raw counter through the
+// identical scale → score → rank tail MineBatches runs, so the final
+// ranking is bit-identical to one-shot MineBatches over the same batches
+// in the same order — at any refit cadence, spill mode, or worker count
+// upstream.
+type OnlineMiner struct {
+	cfg     OnlineConfig
+	labels  LabelStyle
+	allowed map[int]bool
+	store   spillStore
+
+	// Streaming Scale01Sparse statistics: per-dimension explicit min/max
+	// and presence counts over everything ingested, from which each
+	// refit derives the effective lo/hi exactly as feature.Scale01Sparse
+	// would over the full batch.
+	dim     int
+	lo, hi  []float64
+	present []int
+
+	total    int // intervals kept for scoring
+	excluded int
+	batches  int
+	pending  int // batches since the last refit
+
+	inc            *svm.Incremental
+	prevLo, prevHi []float64 // effective scale at the last refit
+	refits         int
+	last           *OnlineRanking
+	closed         bool
+}
+
+// NewOnlineMiner validates the config and opens the spill store.
+func NewOnlineMiner(cfg OnlineConfig) (*OnlineMiner, error) {
+	if cfg.IRQ == 0 {
+		return nil, fmt.Errorf("core: config must name the IRQ to mine")
+	}
+	if cfg.Feature != 0 && cfg.Feature != FeatureCounter {
+		return nil, fmt.Errorf("core: streamed batches carry instruction counters; feature kind %d needs the materialized pipeline", cfg.Feature)
+	}
+	if cfg.DenseFeatures {
+		return nil, fmt.Errorf("core: streamed batches are sparse; DenseFeatures needs the materialized pipeline")
+	}
+	if cfg.Detector != nil {
+		return nil, fmt.Errorf("core: online mining drives the incremental one-class SVM; Detector must be nil")
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 100
+	}
+	if cfg.SpillBlock <= 0 {
+		cfg.SpillBlock = 512
+	}
+	labels := cfg.Labels
+	if labels == 0 {
+		labels = LabelRunSeq
+	}
+	allowed := map[int]bool{}
+	for _, id := range cfg.Nodes {
+		allowed[id] = true
+	}
+	var store spillStore
+	if cfg.SpillDir != "" {
+		fs, err := newFileStore(cfg.SpillDir, metaFields, cfg.SpillBlock)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	} else {
+		store = &memStore{}
+	}
+	return &OnlineMiner{
+		cfg:     cfg,
+		labels:  labels,
+		allowed: allowed,
+		store:   store,
+		inc: svm.NewIncremental(svm.Config{
+			Nu:         0.05, // adjusted per refit for the ν ≥ 1/l clamp
+			Gram:       svm.GramCached,
+			CacheBytes: cfg.SVMCacheBytes,
+			Shrinking:  cfg.SVMShrinking,
+			Parallelism: func() int {
+				if cfg.Parallelism > 0 {
+					return cfg.Parallelism
+				}
+				return 0
+			}(),
+		}),
+	}, nil
+}
+
+// Add ingests one batch: filter (identically to MineBatches), update the
+// streaming scale statistics, spill the survivors, and — every RefitEvery
+// batches — refit and publish an intermediate ranking. Counters are copied;
+// the caller may reuse the batch.
+func (m *OnlineMiner) Add(b Batch) error {
+	if m.closed {
+		return fmt.Errorf("core: online miner is closed")
+	}
+	if len(b.Intervals) != len(b.Counters) {
+		return fmt.Errorf("core: batch %d has %d intervals but %d counters", m.batches, len(b.Intervals), len(b.Counters))
+	}
+	var meta [][]int64
+	var kept []stats.Sparse
+	for i, iv := range b.Intervals {
+		if iv.IRQ != m.cfg.IRQ {
+			continue
+		}
+		if len(m.allowed) > 0 && !m.allowed[iv.Node] {
+			continue
+		}
+		if !iv.Complete {
+			m.excluded++
+			continue
+		}
+		c := b.Counters[i]
+		if m.total+len(kept) == 0 {
+			m.dim = c.Dim
+			m.lo = make([]float64, c.Dim)
+			m.hi = make([]float64, c.Dim)
+			m.present = make([]int, c.Dim)
+			for d := range m.lo {
+				m.lo[d] = math.Inf(1)
+				m.hi[d] = math.Inf(-1)
+			}
+		}
+		if c.Dim != m.dim {
+			return fmt.Errorf("core: sample %d has %d dims, want %d — runs use different binaries", m.total+len(kept), c.Dim, m.dim)
+		}
+		for k, d := range c.Idx {
+			v := c.Val[k]
+			if v < 0 {
+				return fmt.Errorf("core: online mining requires nonnegative counter values, got %g at dim %d", v, d)
+			}
+			if v < m.lo[d] {
+				m.lo[d] = v
+			}
+			if v > m.hi[d] {
+				m.hi[d] = v
+			}
+			m.present[d]++
+		}
+		meta = append(meta, encodeMeta(b.Run, iv))
+		kept = append(kept, stats.Sparse{
+			Idx: append([]int32(nil), c.Idx...),
+			Val: append([]float64(nil), c.Val...),
+			Dim: c.Dim,
+		})
+	}
+	if err := m.store.append(meta, kept); err != nil {
+		return err
+	}
+	m.total += len(kept)
+	m.batches++
+	m.pending++
+	if m.cfg.RefitEvery > 0 && m.pending >= m.cfg.RefitEvery && m.total > 0 {
+		m.pending = 0
+		r, err := m.refit()
+		if err != nil {
+			return err
+		}
+		m.last = r
+		if m.cfg.OnRanking != nil {
+			m.cfg.OnRanking(r)
+		}
+	}
+	return nil
+}
+
+// Last returns the most recent intermediate ranking, or nil before the
+// first refit.
+func (m *OnlineMiner) Last() *OnlineRanking { return m.last }
+
+// effectiveScale derives the [0,1]-scaling bounds Scale01Sparse would
+// compute over the full ingested batch, from the streaming statistics.
+func (m *OnlineMiner) effectiveScale() (lo, hi []float64) {
+	lo = append([]float64(nil), m.lo...)
+	hi = append([]float64(nil), m.hi...)
+	for d := range lo {
+		if m.present[d] < m.total {
+			// Some sample holds an implicit zero here.
+			if lo[d] > 0 || m.present[d] == 0 {
+				lo[d] = 0
+			}
+			if hi[d] < 0 || m.present[d] == 0 {
+				hi[d] = 0
+			}
+		}
+	}
+	return lo, hi
+}
+
+// scaleWith applies the Scale01Sparse transform with precomputed bounds,
+// producing a fresh vector (the stored raw counters stay pristine for the
+// next replay). Cell arithmetic and zero-dropping match Scale01Sparse
+// exactly, so equal bounds yield bitwise-equal scaled vectors.
+func scaleWith(s stats.Sparse, lo, hi []float64) stats.Sparse {
+	out := stats.Sparse{Dim: s.Dim}
+	for i, d := range s.Idx {
+		span := hi[d] - lo[d]
+		if span == 0 {
+			continue // constant dimension: scaled value is 0
+		}
+		v := (s.Val[i] - lo[d]) / span
+		if v == 0 {
+			continue
+		}
+		out.Idx = append(out.Idx, d)
+		out.Val = append(out.Val, v)
+	}
+	return out
+}
+
+func float64sEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Bitwise comparison: ±Inf sentinels compare equal to themselves,
+		// and any numeric drift at all invalidates cached kernel columns.
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// refit replays the spill, rescales with the current effective bounds, and
+// solves warm. Cached kernel columns survive iff the bounds are bitwise
+// unchanged since the previous refit (old scaled samples are then
+// bit-identical); the warm coefficient start survives either way.
+func (m *OnlineMiner) refit() (*OnlineRanking, error) {
+	lo, hi := m.effectiveScale()
+	prefixValid := m.prevLo != nil && float64sEqual(lo, m.prevLo) && float64sEqual(hi, m.prevHi)
+	samples := make([]Sample, 0, m.total)
+	scaled := make([]stats.Sparse, 0, m.total)
+	err := m.store.replay(func(meta [][]int64, cnt []stats.Sparse) error {
+		for i := range cnt {
+			samples = append(samples, decodeMeta(meta[i]))
+			scaled = append(scaled, scaleWith(cnt[i], lo, hi))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.ColdRefits {
+		m.inc.Reset()
+		prefixValid = false
+	}
+	warm := !m.cfg.ColdRefits && m.refits > 0
+	// The ν-feasibility clamp OneClassSVM applies, over the current l.
+	nu := 0.05
+	if lmin := 1 / float64(len(scaled)); nu < lmin {
+		nu = lmin
+	}
+	m.inc.SetNu(nu)
+	rebuildsBefore := m.inc.Rebuilds
+	model, err := m.inc.Refit(scaled, prefixValid)
+	if err != nil {
+		return nil, fmt.Errorf("core: detector one-class-svm: %w", err)
+	}
+	m.prevLo, m.prevHi = lo, hi
+	m.refits++
+	scores := outlier.Normalize(model.TrainingDecisions())
+	top := topKIndices(scores, m.cfg.TopK)
+	ranked := make([]Sample, len(top))
+	for pos, idx := range top {
+		s := samples[idx]
+		s.Score = scores[idx]
+		ranked[pos] = s
+	}
+	return &OnlineRanking{
+		Refit:       m.refits,
+		Batches:     m.batches,
+		Total:       m.total,
+		Excluded:    m.excluded,
+		Samples:     ranked,
+		Warm:        warm,
+		Rebuilt:     m.inc.Rebuilds > rebuildsBefore,
+		Iters:       model.Iters,
+		CacheHits:   model.CacheHits,
+		CacheMisses: model.CacheMisses,
+	}, nil
+}
+
+// Finalize replays every raw spilled counter through the identical
+// scale → score → rank tail MineBatches runs (an exact cold solve), closes
+// the spill, and returns the full ranking — bit-identical to one-shot
+// MineBatches over the same batches. The miner cannot be used afterwards.
+func (m *OnlineMiner) Finalize() (*Ranking, error) {
+	if m.closed {
+		return nil, fmt.Errorf("core: online miner is closed")
+	}
+	samples := make([]Sample, 0, m.total)
+	raw := make([]stats.Sparse, 0, m.total)
+	err := m.store.replay(func(meta [][]int64, cnt []stats.Sparse) error {
+		for i := range cnt {
+			samples = append(samples, decodeMeta(meta[i]))
+			raw = append(raw, cnt[i])
+		}
+		return nil
+	})
+	if cerr := m.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rankSparse(samples, raw, m.cfg.Config.defaultDetector(), m.labels, m.excluded)
+}
+
+// Close releases the spill store without scoring. Idempotent.
+func (m *OnlineMiner) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.store.close()
+}
+
+// ExtractBatches converts recorded runs into the Batch stream Add and
+// MineBatches consume — the bridge from materialized traces to the online
+// path, visiting (run, node, interval) in exactly the order Mine does.
+func ExtractBatches(runs []RunInput, cfg Config) ([]Batch, error) {
+	var out []Batch
+	for ri, run := range runs {
+		if run.Trace == nil {
+			return nil, fmt.Errorf("core: run %d has no trace", ri+1)
+		}
+		ext := feature.NewExtractor(run.Trace)
+		for _, nt := range run.Trace.Nodes {
+			seq := lifecycle.NewSequence(nt)
+			ivs, err := seq.Extract()
+			if err != nil {
+				return nil, fmt.Errorf("core: run %d node %d: %w", ri+1, nt.NodeID, err)
+			}
+			b := Batch{Run: ri + 1}
+			for _, iv := range ivs {
+				if iv.IRQ != cfg.IRQ {
+					continue
+				}
+				var c stats.Sparse
+				if iv.Complete {
+					if c, err = ext.CounterSparse(iv); err != nil {
+						return nil, fmt.Errorf("core: run %d node %d: %w", ri+1, nt.NodeID, err)
+					}
+				}
+				b.Intervals = append(b.Intervals, iv)
+				b.Counters = append(b.Counters, c)
+			}
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import "sort"
+
+// topKIndices returns the indices of the k smallest scores, ascending by
+// (score, original index) — exactly outlier.Rank(scores)[:k], computed with
+// a bounded max-heap in O(l log k) instead of sorting all l samples. The
+// online miner uses it to publish intermediate rankings while retaining
+// only K samples' worth of metadata between refits.
+func topKIndices(scores []float64, k int) []int {
+	if k <= 0 || k > len(scores) {
+		k = len(scores)
+	}
+	// heap[0] is the WORST kept candidate: largest score, ties broken
+	// toward the larger index (the one Rank would order last).
+	heap := make([]int, 0, k)
+	worse := func(a, b int) bool {
+		return scores[a] > scores[b] || (scores[a] == scores[b] && a > b)
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			top := i
+			if l < len(heap) && worse(heap[l], heap[top]) {
+				top = l
+			}
+			if r < len(heap) && worse(heap[r], heap[top]) {
+				top = r
+			}
+			if top == i {
+				return
+			}
+			heap[i], heap[top] = heap[top], heap[i]
+			i = top
+		}
+	}
+	for i := range scores {
+		if len(heap) < k {
+			heap = append(heap, i)
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !worse(heap[c], heap[p]) {
+					break
+				}
+				heap[c], heap[p] = heap[p], heap[c]
+				c = p
+			}
+			continue
+		}
+		if worse(heap[0], i) {
+			heap[0] = i
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(a, b int) bool {
+		return scores[heap[a]] < scores[heap[b]] ||
+			(scores[heap[a]] == scores[heap[b]] && heap[a] < heap[b])
+	})
+	return heap
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"os"
+
 	"sentomist/internal/apps"
 	"sentomist/internal/campaign"
 	"sentomist/internal/core"
@@ -68,6 +70,92 @@ func CampaignEquivalence(seedBase uint64) (samples int, equal bool, err error) {
 		}
 	}
 	return len(materialized.Samples), true, nil
+}
+
+// OnlineEquivalence exercises the rank-as-you-go path: the Case-I campaign
+// streamed into the online miner at several worker counts and refit
+// cadences — warm refits, columnar disk spill on one configuration — each
+// finalized ranking compared bitwise against the one-shot campaign ranking.
+// The cmd/experiments report prints it as E7.
+func OnlineEquivalence(seedBase uint64) (samples, refits, configs int, equal bool, err error) {
+	baseline, err := CaseICampaign(seedBase)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	sameRanking := func(got *core.Ranking) bool {
+		if len(got.Samples) != len(baseline.Samples) ||
+			got.Dim != baseline.Dim || got.Excluded != baseline.Excluded {
+			return false
+		}
+		for i := range baseline.Samples {
+			if got.Samples[i] != baseline.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, v := range []struct {
+		workers, refitEvery int
+		spill               bool
+	}{
+		{1, 1, false},
+		{3, 2, false},
+		{2, 1, true},
+	} {
+		spillDir := ""
+		if v.spill {
+			if spillDir, err = os.MkdirTemp("", "sentomist-e7-"); err != nil {
+				return 0, 0, 0, false, err
+			}
+		}
+		got, runErr := mineCaseIOnline(seedBase, v.workers, v.refitEvery, spillDir, &refits)
+		if spillDir != "" {
+			os.RemoveAll(spillDir)
+		}
+		if runErr != nil {
+			return 0, 0, 0, false, runErr
+		}
+		configs++
+		if !sameRanking(got) {
+			return len(baseline.Samples), refits, configs, false, nil
+		}
+	}
+	return len(baseline.Samples), refits, configs, true, nil
+}
+
+// mineCaseIOnline is CaseICampaign with the streaming-ingest arm enabled.
+func mineCaseIOnline(seedBase uint64, workers, refitEvery int, spillDir string, refits *int) (*core.Ranking, error) {
+	runs := make([]campaign.RunFunc, len(CaseIPeriods))
+	for i, d := range CaseIPeriods {
+		i, d := i, d
+		runs[i] = func(attach campaign.Attach) error {
+			run, err := apps.RunOscilloscope(apps.OscConfig{
+				PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
+				NodeWorkers: NodeWorkers,
+				Stream: map[int]trace.StreamSink{
+					apps.OscSensorID: attach(apps.OscSensorID),
+				},
+				DiscardMarkers: true,
+			})
+			if err != nil {
+				return err
+			}
+			run.Release()
+			return nil
+		}
+	}
+	return campaign.Mine(campaign.Config{
+		IRQ:         dev.IRQADC,
+		Nodes:       []int{apps.OscSensorID},
+		NodeWorkers: NodeWorkers,
+		Workers:     workers,
+		Online: &campaign.OnlineOptions{
+			RefitEvery: refitEvery,
+			TopK:       5,
+			SpillDir:   spillDir,
+			OnRanking:  func(*core.OnlineRanking) { *refits++ },
+		},
+	}, runs)
 }
 
 // caseIRanking is CaseI's mining step without the summary: the reference

@@ -92,6 +92,28 @@ func TestAblationShapes(t *testing.T) {
 	}
 }
 
+func TestOnlineEquivalenceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Case I both ways at several online configs")
+	}
+	samples, refits, configs, equal, err := OnlineEquivalence(CaseISeedBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal {
+		t.Fatal("online finalized ranking diverged from the one-shot campaign")
+	}
+	if configs != 3 {
+		t.Errorf("exercised %d configs, want 3", configs)
+	}
+	if samples < 900 || samples > 1400 {
+		t.Errorf("samples = %d, want the paper's order (~1100)", samples)
+	}
+	if refits == 0 {
+		t.Error("no intermediate refits fired")
+	}
+}
+
 func TestSequentialAblationShape(t *testing.T) {
 	pre, seq, err := SequentialAblation()
 	if err != nil {

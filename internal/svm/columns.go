@@ -1,6 +1,8 @@
 package svm
 
 import (
+	"encoding/binary"
+	"math"
 	"sync"
 
 	"sentomist/internal/stats"
@@ -74,26 +76,76 @@ func (s *denseColSource) fill(j int, dst []float64) {
 // duplicate collapsing gramSparse applies: one kernel evaluation per
 // distinct-vector group, broadcast across the group's samples. Columns are
 // keyed by group, so identical samples share a single cached column.
+//
+// The source is growable: extendTo appends newly arrived samples to the
+// dedup state without disturbing existing group assignments, which is what
+// lets an online refit keep kernel columns cached across solves (see
+// Incremental) — old samples keep their keys, new samples join existing
+// groups or open new ones.
 type sparseColSource struct {
 	samples []stats.Sparse
 	kernel  SparseKernel
-	reps    []int // sample index of each group representative
-	group   []int // sample index -> group
+	reps    []int          // sample index of each group representative
+	group   []int          // sample index -> group
+	seen    map[string]int // dedup key -> group (persistent across extendTo)
 	vals    []float64
+	keyBuf  []byte
 	workers int
 }
 
 func newSparseColSource(samples []stats.Sparse, kernel SparseKernel, workers int) *sparseColSource {
-	reps, group := dedupSparse(samples)
-	return &sparseColSource{
-		samples: samples,
+	s := &sparseColSource{
 		kernel:  kernel,
-		reps:    reps,
-		group:   group,
-		vals:    make([]float64, len(reps)),
+		seen:    make(map[string]int, len(samples)),
 		workers: workers,
 	}
+	s.extendTo(samples)
+	return s
 }
+
+// extendTo rebinds the source to the full current batch, deduplicating only
+// the tail beyond what was already absorbed. The prefix of all must be
+// bitwise identical to the previous batch (same vector contents; the
+// backing slices may differ), so existing reps/group entries — and any
+// kernel values derived from them — remain exact. It returns the previous
+// sample and group counts, which callers use to extend cached columns.
+//
+// The dedup loop is element-for-element the same key construction
+// dedupSparse performs, so a source built in one shot and one grown
+// batch-by-batch assign identical groups.
+func (s *sparseColSource) extendTo(all []stats.Sparse) (oldLen, oldReps int) {
+	oldLen, oldReps = len(s.group), len(s.reps)
+	s.samples = all
+	for i := oldLen; i < len(all); i++ {
+		key := s.keyBuf[:0]
+		sm := all[i]
+		for k, idx := range sm.Idx {
+			key = binary.LittleEndian.AppendUint32(key, uint32(idx))
+			key = binary.LittleEndian.AppendUint64(key, math.Float64bits(sm.Val[k]))
+		}
+		s.keyBuf = key[:0]
+		if gi, ok := s.seen[string(key)]; ok {
+			s.group = append(s.group, gi)
+			continue
+		}
+		gi := len(s.reps)
+		s.seen[string(key)] = gi
+		s.group = append(s.group, gi)
+		s.reps = append(s.reps, i)
+	}
+	if cap(s.vals) < len(s.reps) {
+		vals := make([]float64, len(s.reps))
+		s.vals = vals
+	} else {
+		s.vals = s.vals[:len(s.reps)]
+	}
+	return oldLen, oldReps
+}
+
+// release drops the sample references so a caller can let a replayed batch
+// be collected between refits; the next extendTo rebinds bitwise-identical
+// content. Dedup state, group assignments, and cached columns stay valid.
+func (s *sparseColSource) release() { s.samples = nil }
 
 func (s *sparseColSource) length() int        { return len(s.samples) }
 func (s *sparseColSource) distinct() int      { return len(s.reps) }
@@ -114,6 +166,36 @@ func (s *sparseColSource) fill(g int, dst []float64) {
 	})
 	for k := range dst {
 		dst[k] = s.vals[s.group[k]]
+	}
+}
+
+// fillTail extends a cached column in place after extendTo grew the source:
+// dst[:from] already holds the column's broadcast values over the first
+// `from` samples (and the first oldReps groups), only the tail is filled.
+// Values for old groups are recovered from the column itself — the
+// representative of an old group is an old sample, so dst[reps[g]] holds
+// that group's kernel value bit-for-bit — and only (new group, this column)
+// pairs cost kernel evaluations. The extended column is bit-identical to
+// what a from-scratch fill would produce.
+func (s *sparseColSource) fillTail(g int, dst []float64, from, oldReps int) {
+	rg := s.samples[s.reps[g]]
+	newReps := len(s.reps) - oldReps
+	parallelRanges(newReps, s.workers, func(lo, hi int) {
+		for b := oldReps + lo; b < oldReps+hi; b++ {
+			// Same orientation rule as fill: larger group index first.
+			if b >= g {
+				s.vals[b] = s.kernel.EvalSparse(s.samples[s.reps[b]], rg)
+			} else {
+				s.vals[b] = s.kernel.EvalSparse(rg, s.samples[s.reps[b]])
+			}
+		}
+	})
+	for k := from; k < len(dst); k++ {
+		if gi := s.group[k]; gi < oldReps {
+			dst[k] = dst[s.reps[gi]]
+		} else {
+			dst[k] = s.vals[gi]
+		}
 	}
 }
 
@@ -148,11 +230,15 @@ func parallelRanges(n, workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// colEntry is one resident column in the LRU.
+// colEntry is one resident column in the LRU. filled and reps record how
+// far the column was materialized (sample count and group count at the last
+// fill): after the source grows, a resident column stays short until the
+// solver actually asks for it, and only then pays for its missing tail.
 type colEntry struct {
-	key        int
-	col        []float64
-	prev, next *colEntry
+	key          int
+	col          []float64
+	filled, reps int
+	prev, next   *colEntry
 }
 
 // colCache is the libsvm-style kernel cache: an LRU of full columns bounded
@@ -172,13 +258,16 @@ type colCache struct {
 	hits, misses int64
 }
 
-func newColCache(src columnSource, budgetBytes int64) *colCache {
-	l := src.length()
+// budgetCols translates a byte budget into a column capacity for an
+// l-sample source with the given distinct-column count: at least two
+// columns (the solver pins the two working-set columns), at most one per
+// distinct column.
+func budgetCols(budgetBytes int64, l, distinct int) int {
 	capCols := 2
 	if l > 0 {
 		if byBudget := budgetBytes / int64(8*l); byBudget > 2 {
-			if byBudget > int64(src.distinct()) {
-				capCols = src.distinct()
+			if byBudget > int64(distinct) {
+				capCols = distinct
 			} else {
 				capCols = int(byBudget)
 			}
@@ -187,6 +276,11 @@ func newColCache(src columnSource, budgetBytes int64) *colCache {
 	if capCols < 2 {
 		capCols = 2
 	}
+	return capCols
+}
+
+func newColCache(src columnSource, budgetBytes int64) *colCache {
+	capCols := budgetCols(budgetBytes, src.length(), src.distinct())
 	return &colCache{
 		src:     src,
 		entries: make(map[int]*colEntry, capCols),
@@ -194,24 +288,66 @@ func newColCache(src columnSource, budgetBytes int64) *colCache {
 	}
 }
 
+// grow re-budgets the cache after its sparse source absorbed new samples
+// (extendTo). Resident columns are NOT eagerly extended: each keeps its
+// recorded fill watermark and pays for its missing tail only if and when the
+// solver asks for it again (see col) — eager extension would spend
+// (new group × resident column) kernel evaluations on columns the next solve
+// may never touch, which at campaign scale costs more than the warm start
+// saves. When the per-column footprint pushes the resident set past the new
+// budget, least-recently-used columns are dropped first.
+func (c *colCache) grow(budgetBytes int64) {
+	c.capCols = budgetCols(budgetBytes, c.src.length(), c.src.distinct())
+	for len(c.entries) > c.capCols && c.tail != nil {
+		e := c.tail
+		c.detach(e)
+		delete(c.entries, e.key)
+	}
+}
+
+// resize returns col with length l, reusing its backing array when it fits
+// and preserving the already-filled prefix otherwise.
+func resize(col []float64, l int) []float64 {
+	if cap(col) >= l {
+		return col[:l]
+	}
+	grown := make([]float64, l)
+	copy(grown, col)
+	return grown
+}
+
 func (c *colCache) col(j int) []float64 {
 	key := c.src.remapped(j)
+	l := c.src.length()
 	if e := c.entries[key]; e != nil {
 		c.hits++
+		if e.filled < l {
+			// The source grew since this column was filled: extend it in
+			// place. Old groups' values are recovered from the column
+			// itself, so only (new group, this column) pairs cost kernel
+			// evaluations, and the extended column is bit-identical to a
+			// from-scratch fill. Within one solve l is fixed, so a pinned
+			// working-set slice is never reallocated mid-solve.
+			e.col = resize(e.col, l)
+			c.src.(*sparseColSource).fillTail(key, e.col, e.filled, e.reps)
+			e.filled, e.reps = l, c.src.distinct()
+		}
 		c.moveToFront(e)
 		return e.col
 	}
 	c.misses++
 	var e *colEntry
 	if len(c.entries) < c.capCols {
-		e = &colEntry{col: make([]float64, c.src.length())}
+		e = &colEntry{col: make([]float64, l)}
 	} else {
 		e = c.tail
 		c.detach(e)
 		delete(c.entries, e.key)
+		e.col = resize(e.col, l)
 	}
 	e.key = key
 	c.src.fill(key, e.col)
+	e.filled, e.reps = l, c.src.distinct()
 	c.entries[key] = e
 	c.pushFront(e)
 	return e.col

@@ -393,6 +393,20 @@ func shrinkInterval(l int) int {
 // gradients reconstructed on unshrink), so that path guarantees the same
 // ε-optimum but not bitwise equality.
 func solve(p gramProvider, l int, cfg Config, kernel Kernel) (*Model, error) {
+	return solveFrom(p, l, cfg, kernel, nil)
+}
+
+// solveFrom is solve with an optional warm start: when warm is non-nil it
+// must be a feasible point of the dual (0 ≤ αᵢ ≤ 1/(νl), Σα = 1, length l)
+// and optimization starts there instead of at the LIBSVM prefix
+// initialization. A warm start never changes what termination means — the
+// full problem satisfies the same ε tolerance — it only changes how many
+// iterations reaching it takes, so a warm start at the previous optimum of
+// the *same* problem converges immediately to the bit-identical solution,
+// and a warm start on a grown problem lands on the same ε-optimum a cold
+// solve finds (equal up to solver tolerance, not bitwise — the same
+// discipline as shrinking).
+func solveFrom(p gramProvider, l int, cfg Config, kernel Kernel, warm []float64) (*Model, error) {
 	if cfg.Nu <= 0 || cfg.Nu > 1 {
 		return nil, fmt.Errorf("svm: nu=%g outside (0,1]", cfg.Nu)
 	}
@@ -408,28 +422,35 @@ func solve(p gramProvider, l int, cfg Config, kernel Kernel) (*Model, error) {
 		}
 	}
 
-	// LIBSVM-style initialization: put total mass 1 on the first ⌈νl⌉
-	// points, the last one fractionally.
 	c := 1 / (cfg.Nu * float64(l))
 	alpha := make([]float64, l)
-	remaining := 1.0
-	for i := 0; i < l && remaining > 0; i++ {
-		a := math.Min(c, remaining)
-		alpha[i] = a
-		remaining -= a
+	if warm != nil {
+		if len(warm) != l {
+			return nil, fmt.Errorf("svm: warm start has %d coefficients, want %d", len(warm), l)
+		}
+		copy(alpha, warm)
+	} else {
+		// LIBSVM-style initialization: put total mass 1 on the first ⌈νl⌉
+		// points, the last one fractionally.
+		remaining := 1.0
+		for i := 0; i < l && remaining > 0; i++ {
+			a := math.Min(c, remaining)
+			alpha[i] = a
+			remaining -= a
+		}
 	}
 
-	// Gradient of ½αᵀQα is Qα. The initialization above puts mass only
-	// on a prefix of the samples, so only the columns carrying mass
-	// contribute. Walking those columns in ascending order feeds each
-	// grad[i] the same additions in the same order as the historical
-	// row-based loop (Q is symmetric cell-for-cell by construction).
-	init := 0
-	for init < l && alpha[init] > 0 {
-		init++
-	}
+	// Gradient of ½αᵀQα is Qα: only columns carrying mass contribute.
+	// Walking them in ascending order feeds each grad[i] the same
+	// additions in the same order as the historical row-based loop (Q is
+	// symmetric cell-for-cell by construction); for the cold prefix
+	// initialization this is exactly the historical prefix walk, so cold
+	// solves stay bit-identical.
 	grad := make([]float64, l)
-	for j := 0; j < init; j++ {
+	for j := 0; j < l; j++ {
+		if alpha[j] <= 0 {
+			continue
+		}
 		cj := p.col(j)
 		aj := alpha[j]
 		for i := 0; i < l; i++ {

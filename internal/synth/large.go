@@ -27,6 +27,14 @@ type LargeCampaignConfig struct {
 	// cost truly scales with l (what the campaign-scale benchmarks
 	// measure).
 	Distinct bool
+	// BlockJitter draws an independent quantized jitter per basic block
+	// instead of one per interval: combinatorially many distinct counters
+	// (so duplicate collapsing cannot shrink the problem) over a small
+	// per-dimension value set (so streaming min/max scaling saturates
+	// after a modest prefix) — the online-mining benchmark regime, where
+	// cross-refit kernel-cache reuse is only valid once the effective
+	// scale stops moving. Ignored when Distinct is set.
+	BlockJitter bool
 }
 
 // LargeCampaign synthesizes the instruction counters of one large testing
@@ -94,6 +102,9 @@ func LargeCampaign(cfg LargeCampaignConfig) []stats.Sparse {
 			jitter = rng.Float64() * 4
 		}
 		for _, b := range blocks {
+			if cfg.BlockJitter && !cfg.Distinct {
+				jitter = float64(rng.Intn(4))
+			}
 			for k := 0; k < b.n; k++ {
 				buf[b.start+k] += b.base + jitter
 			}

@@ -51,6 +51,41 @@ func TestLargeCampaignShape(t *testing.T) {
 	}
 }
 
+// TestLargeCampaignBlockJitter pins the online-benchmark regime: per-block
+// jitter makes most counters distinct (dedup cannot collapse the kernel
+// matrix) while per-dimension values stay on a small quantized grid, so a
+// streaming min/max scale saturates after a modest prefix.
+func TestLargeCampaignBlockJitter(t *testing.T) {
+	batch := LargeCampaign(LargeCampaignConfig{
+		Seed: 9, Samples: 2000, Dim: 1024, BlockJitter: true, AnomalyRate: -1,
+	})
+	dups := map[string]int{}
+	perDim := make(map[int32]map[float64]bool)
+	for _, s := range batch {
+		key := make([]byte, 0, 16*len(s.Idx))
+		for k, idx := range s.Idx {
+			key = append(key, byte(idx), byte(idx>>8), byte(int64(s.Val[k]*8)))
+			vs := perDim[idx]
+			if vs == nil {
+				vs = map[float64]bool{}
+				perDim[idx] = vs
+			}
+			vs[s.Val[k]] = true
+		}
+		dups[string(key)]++
+	}
+	if len(dups) < len(batch)/2 {
+		t.Fatalf("only %d/%d distinct counters; block jitter should defeat dedup", len(dups), len(batch))
+	}
+	// Quantized jitter over overlapping blocks: each dimension's value set
+	// stays small, so min/max stop moving early in the stream.
+	for d, vs := range perDim {
+		if len(vs) > 64 {
+			t.Fatalf("dim %d takes %d distinct values; expected a small quantized set", d, len(vs))
+		}
+	}
+}
+
 func TestLargeCampaignDeterministic(t *testing.T) {
 	a := LargeCampaign(LargeCampaignConfig{Seed: 4, Samples: 500})
 	b := LargeCampaign(LargeCampaignConfig{Seed: 4, Samples: 500})

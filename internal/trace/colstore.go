@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"sentomist/internal/stats"
+)
+
+// The SENTCOL1 columnar counter store. Where the SENTTRC1 container of
+// encode.go serializes whole traces, this format spills *featured
+// intervals*: sparse instruction counters plus a fixed number of integer
+// metadata fields per sample. It exists for online mining — a campaign of
+// millions of intervals appends counters as runs finish and replays them
+// sequentially at each refit, so featured intervals never have to stay
+// resident between refits.
+//
+// Layout: after the 8-byte magic, the file is a sequence of self-contained
+// blocks. Within a block the data is columnar — each field is stored as one
+// contiguous run rather than interleaved per record — which keeps the
+// encoder's writes and the replayer's reads strictly sequential (no mmap,
+// no seeking):
+//
+//	uvarint  n           samples in the block (>= 1)
+//	uvarint  dim         dense dimensionality shared by the block's counters
+//	uvarint  metaWidth   int64 metadata fields per sample
+//	varints  meta        n×metaWidth signed fields, sample-major
+//	uvarints nnz         n stored-entry counts
+//	uvarints indices     per sample: the first index, then successor deltas
+//	                     (indices are strictly ascending, so every delta is
+//	                     >= 1 and small — typically a run of 1s)
+//	float64  values      all stored values, raw little-endian bits
+//
+// Values round-trip bit-for-bit (raw IEEE-754 bits, no text formatting), so
+// counters replayed from a spill are indistinguishable from counters held
+// resident — the property the online miner's exact final refit relies on.
+
+// colMagic distinguishes the columnar container.
+const colMagic = "SENTCOL1"
+
+// ColWriter appends blocks of sparse counters to an underlying writer.
+type ColWriter struct {
+	w         *bufio.Writer
+	metaWidth int
+	scratch   []byte
+}
+
+// NewColWriter starts a SENTCOL1 stream on w: the magic is written
+// immediately, blocks follow via Append. Every appended sample carries
+// exactly metaWidth int64 metadata fields.
+func NewColWriter(w io.Writer, metaWidth int) (*ColWriter, error) {
+	if metaWidth < 0 {
+		return nil, fmt.Errorf("trace: negative column-store meta width %d", metaWidth)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(colMagic); err != nil {
+		return nil, fmt.Errorf("trace: write column-store magic: %w", err)
+	}
+	return &ColWriter{w: bw, metaWidth: metaWidth}, nil
+}
+
+// Append writes one block. meta and counters are parallel (meta[i] belongs
+// to counters[i]); every meta row must hold the writer's metaWidth fields
+// and every counter the same Dim. Empty appends are no-ops.
+func (cw *ColWriter) Append(meta [][]int64, counters []stats.Sparse) error {
+	n := len(counters)
+	if n == 0 {
+		return nil
+	}
+	if len(meta) != n {
+		return fmt.Errorf("trace: column-store append has %d meta rows but %d counters", len(meta), n)
+	}
+	dim := counters[0].Dim
+	buf := cw.scratch[:0]
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(dim))
+	buf = binary.AppendUvarint(buf, uint64(cw.metaWidth))
+	for i, m := range meta {
+		if len(m) != cw.metaWidth {
+			return fmt.Errorf("trace: column-store meta row %d has %d fields, want %d", i, len(m), cw.metaWidth)
+		}
+		for _, f := range m {
+			buf = binary.AppendVarint(buf, f)
+		}
+	}
+	for i, c := range counters {
+		if c.Dim != dim {
+			return fmt.Errorf("trace: column-store counter %d has dim %d, block started with %d", i, c.Dim, dim)
+		}
+		if len(c.Idx) != len(c.Val) {
+			return fmt.Errorf("trace: column-store counter %d has %d indices but %d values", i, len(c.Idx), len(c.Val))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(c.Idx)))
+	}
+	for i, c := range counters {
+		prev := int32(-1)
+		for _, idx := range c.Idx {
+			if idx <= prev || int(idx) >= dim {
+				return fmt.Errorf("trace: column-store counter %d has non-ascending or out-of-range index %d (dim %d)", i, idx, dim)
+			}
+			buf = binary.AppendUvarint(buf, uint64(idx-prev))
+			prev = idx
+		}
+	}
+	for _, c := range counters {
+		for _, v := range c.Val {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	cw.scratch = buf[:0]
+	if _, err := cw.w.Write(buf); err != nil {
+		return fmt.Errorf("trace: column-store append: %w", err)
+	}
+	return nil
+}
+
+// Flush pushes buffered bytes to the underlying writer. Call it before
+// opening the written data for replay.
+func (cw *ColWriter) Flush() error {
+	if err := cw.w.Flush(); err != nil {
+		return fmt.Errorf("trace: column-store flush: %w", err)
+	}
+	return nil
+}
+
+// ColReader sequentially replays a SENTCOL1 stream.
+type ColReader struct {
+	r *bufio.Reader
+}
+
+// NewColReader opens a SENTCOL1 stream for replay, validating the magic.
+func NewColReader(r io.Reader) (*ColReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(colMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: read column-store magic: %w", err)
+	}
+	if string(magic) != colMagic {
+		return nil, fmt.Errorf("trace: bad column-store magic %q (not a SENTCOL1 spill)", magic)
+	}
+	return &ColReader{r: br}, nil
+}
+
+// Next decodes the next block, returning io.EOF cleanly at the end of the
+// stream. The returned counters share one backing array per field and do
+// not alias reader state — they stay valid across further Next calls.
+func (cr *ColReader) Next() (meta [][]int64, counters []stats.Sparse, err error) {
+	n64, err := binary.ReadUvarint(cr.r)
+	if err == io.EOF {
+		return nil, nil, io.EOF
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: column-store block header: %w", truncated(err))
+	}
+	dim64, err := binary.ReadUvarint(cr.r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: column-store block header: %w", truncated(err))
+	}
+	mw64, err := binary.ReadUvarint(cr.r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: column-store block header: %w", truncated(err))
+	}
+	const sane = 1 << 40
+	if n64 == 0 || n64 > sane || dim64 > sane || mw64 > 1<<16 {
+		return nil, nil, fmt.Errorf("trace: column-store block header corrupt (n=%d dim=%d meta=%d)", n64, dim64, mw64)
+	}
+	n, dim, metaWidth := int(n64), int(dim64), int(mw64)
+
+	metaCells := make([]int64, n*metaWidth)
+	meta = make([][]int64, n)
+	for i := range meta {
+		meta[i] = metaCells[i*metaWidth : (i+1)*metaWidth : (i+1)*metaWidth]
+		for f := range meta[i] {
+			v, err := binary.ReadVarint(cr.r)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: column-store meta block: %w", truncated(err))
+			}
+			meta[i][f] = v
+		}
+	}
+
+	nnz := make([]int, n)
+	total := 0
+	for i := range nnz {
+		v, err := binary.ReadUvarint(cr.r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: column-store length block: %w", truncated(err))
+		}
+		if v > uint64(dim) {
+			return nil, nil, fmt.Errorf("trace: column-store counter %d claims %d entries in %d dims", i, v, dim)
+		}
+		nnz[i] = int(v)
+		total += int(v)
+	}
+
+	idxCells := make([]int32, total)
+	valCells := make([]float64, total)
+	counters = make([]stats.Sparse, n)
+	at := 0
+	for i := range counters {
+		idx := idxCells[at : at+nnz[i] : at+nnz[i]]
+		prev := int64(-1)
+		for k := range idx {
+			d, err := binary.ReadUvarint(cr.r)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: column-store index block: %w", truncated(err))
+			}
+			prev += int64(d)
+			if d == 0 || prev >= int64(dim) {
+				return nil, nil, fmt.Errorf("trace: column-store counter %d index %d out of range (dim %d)", i, prev, dim)
+			}
+			idx[k] = int32(prev)
+		}
+		counters[i] = stats.Sparse{Idx: idx, Val: valCells[at : at+nnz[i] : at+nnz[i]], Dim: dim}
+		at += nnz[i]
+	}
+	var u8 [8]byte
+	for i := range counters {
+		for k := range counters[i].Val {
+			if _, err := io.ReadFull(cr.r, u8[:]); err != nil {
+				return nil, nil, fmt.Errorf("trace: column-store value block: %w", truncated(err))
+			}
+			counters[i].Val[k] = math.Float64frombits(binary.LittleEndian.Uint64(u8[:]))
+		}
+	}
+	return meta, counters, nil
+}
+
+// truncated upgrades a bare EOF inside a block to ErrUnexpectedEOF: a clean
+// EOF is only valid between blocks.
+func truncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sentomist/internal/randx"
+	"sentomist/internal/stats"
+)
+
+// randomBlock synthesizes a block of sparse counters with the shapes the
+// spill store sees in practice: short ascending index runs, float values
+// including awkward bit patterns.
+func randomBlock(rng *randx.RNG, n, dim, metaWidth int) ([][]int64, []stats.Sparse) {
+	meta := make([][]int64, n)
+	counters := make([]stats.Sparse, n)
+	for i := range counters {
+		meta[i] = make([]int64, metaWidth)
+		for f := range meta[i] {
+			meta[i][f] = int64(rng.Intn(2000)) - 1000
+		}
+		nnz := rng.Intn(10)
+		s := stats.Sparse{Dim: dim}
+		at := -1
+		for k := 0; k < nnz; k++ {
+			at += 1 + rng.Intn(5)
+			if at >= dim {
+				break
+			}
+			v := float64(rng.Intn(1000)) / 8
+			if v == 0 {
+				v = 0.125
+			}
+			s.Idx = append(s.Idx, int32(at))
+			s.Val = append(s.Val, v)
+		}
+		counters[i] = s
+	}
+	return meta, counters
+}
+
+func TestColStoreRoundTrip(t *testing.T) {
+	rng := randx.New(7)
+	var buf bytes.Buffer
+	w, err := NewColWriter(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantMeta [][][]int64
+	var wantCnt [][]stats.Sparse
+	for b := 0; b < 9; b++ {
+		meta, cnt := randomBlock(rng, 1+rng.Intn(40), 64+rng.Intn(200), 3)
+		if err := w.Append(meta, cnt); err != nil {
+			t.Fatal(err)
+		}
+		wantMeta = append(wantMeta, meta)
+		wantCnt = append(wantCnt, cnt)
+	}
+	if err := w.Append(nil, nil); err != nil { // empty append is a no-op
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewColReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; ; b++ {
+		meta, cnt, err := r.Next()
+		if err == io.EOF {
+			if b != len(wantCnt) {
+				t.Fatalf("EOF after %d blocks, wrote %d", b, len(wantCnt))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(meta, wantMeta[b]) {
+			t.Fatalf("block %d meta diverges", b)
+		}
+		if len(cnt) != len(wantCnt[b]) {
+			t.Fatalf("block %d has %d counters, want %d", b, len(cnt), len(wantCnt[b]))
+		}
+		for i := range cnt {
+			w := wantCnt[b][i]
+			if cnt[i].Dim != w.Dim || len(cnt[i].Idx) != len(w.Idx) {
+				t.Fatalf("block %d counter %d shape diverges", b, i)
+			}
+			for k := range w.Idx {
+				if cnt[i].Idx[k] != w.Idx[k] {
+					t.Fatalf("block %d counter %d indices diverge", b, i)
+				}
+			}
+			for k := range w.Val {
+				if math.Float64bits(cnt[i].Val[k]) != math.Float64bits(w.Val[k]) {
+					t.Fatalf("block %d counter %d value %d not bit-identical", b, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestColStoreBitExactFloats checks the value column preserves exact IEEE
+// bit patterns, including negative zero, subnormals, and NaN payloads.
+func TestColStoreBitExactFloats(t *testing.T) {
+	vals := []float64{
+		math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64,
+		math.MaxFloat64,
+		math.Inf(1),
+		math.Float64frombits(0x7ff8000000000abc), // NaN with payload
+		1.0 / 3.0,
+	}
+	s := stats.Sparse{Dim: len(vals)}
+	for i, v := range vals {
+		s.Idx = append(s.Idx, int32(i))
+		s.Val = append(s.Val, v)
+	}
+	var buf bytes.Buffer
+	w, err := NewColWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([][]int64{{}}, []stats.Sparse{s}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewColReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cnt, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if math.Float64bits(cnt[0].Val[i]) != math.Float64bits(v) {
+			t.Fatalf("value %d: %x round-tripped to %x", i, math.Float64bits(v), math.Float64bits(cnt[0].Val[i]))
+		}
+	}
+}
+
+func TestColStoreRejectsBadMagic(t *testing.T) {
+	if _, err := NewColReader(strings.NewReader("SENTTRC1whoops")); err == nil {
+		t.Fatal("trace-container magic accepted as a column store")
+	}
+	if _, err := NewColReader(strings.NewReader("short")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestColStoreRejectsTruncation(t *testing.T) {
+	rng := randx.New(3)
+	var buf bytes.Buffer
+	w, err := NewColWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, cnt := randomBlock(rng, 20, 128, 2)
+	if err := w.Append(meta, cnt); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := len(colMagic) + 1; cut < len(whole); cut += 7 {
+		r, err := NewColReader(bytes.NewReader(whole[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: magic rejected: %v", cut, err)
+		}
+		if _, _, err := r.Next(); err == nil || err == io.EOF {
+			t.Fatalf("cut %d of %d: truncated block read as %v", cut, len(whole), err)
+		}
+	}
+}
+
+func TestColStoreRejectsMalformedAppend(t *testing.T) {
+	w, err := NewColWriter(io.Discard, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := stats.Sparse{Idx: []int32{1, 4}, Val: []float64{1, 2}, Dim: 8}
+	if err := w.Append([][]int64{{1, 2}, {3, 4}}, []stats.Sparse{good}); err == nil {
+		t.Fatal("meta/counter length mismatch accepted")
+	}
+	if err := w.Append([][]int64{{1}}, []stats.Sparse{good}); err == nil {
+		t.Fatal("wrong meta width accepted")
+	}
+	if err := w.Append([][]int64{{1, 2}, {3, 4}}, []stats.Sparse{good, {Idx: []int32{0}, Val: []float64{1}, Dim: 9}}); err == nil {
+		t.Fatal("mixed dims accepted")
+	}
+	if err := w.Append([][]int64{{1, 2}}, []stats.Sparse{{Idx: []int32{4, 2}, Val: []float64{1, 2}, Dim: 8}}); err == nil {
+		t.Fatal("non-ascending indices accepted")
+	}
+	if err := w.Append([][]int64{{1, 2}}, []stats.Sparse{{Idx: []int32{4}, Val: []float64{1, 2}, Dim: 8}}); err == nil {
+		t.Fatal("index/value length mismatch accepted")
+	}
+	if _, err := NewColWriter(io.Discard, -1); err == nil {
+		t.Fatal("negative meta width accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // Serialization of traces. The binary format is gob wrapped in gzip — the
@@ -50,6 +51,12 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	var t Trace
 	if err := gob.NewDecoder(zr).Decode(&t); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	// Drain to EOF so the gzip footer (CRC32 + length) is actually
+	// verified — gob stops reading once the value is decoded, which would
+	// otherwise let a truncated or corrupted tail pass silently.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("trace: verify gzip checksum: %w", err)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -118,5 +125,5 @@ func LoadFile(path string) (*Trace, error) {
 }
 
 func isJSONPath(path string) bool {
-	return len(path) >= 5 && path[len(path)-5:] == ".json"
+	return strings.HasSuffix(path, ".json")
 }

@@ -76,6 +76,8 @@ type (
 	Ranking = core.Ranking
 	// Sample is one scored interval within a Ranking.
 	Sample = core.Sample
+	// LabelStyle selects how rankings label intervals.
+	LabelStyle = core.LabelStyle
 	// Detector is the plug-in outlier detection interface.
 	Detector = outlier.Detector
 	// Kernel is an SVM kernel function.
@@ -145,6 +147,37 @@ func MineCampaign(cfg CampaignConfig, runs []CampaignRun) (*Ranking, error) {
 // MineCampaign.
 func MineBatches(batches []MineBatch, cfg MineConfig) (*Ranking, error) {
 	return core.MineBatches(batches, cfg)
+}
+
+// Online incremental mining (rank-as-you-go).
+type (
+	// OnlineMiner ingests batches as runs finish, refits the one-class
+	// SVM periodically with warm starts, publishes streaming top-K
+	// rankings, and finalizes to a ranking bit-identical to one-shot
+	// MineBatches over the same batches.
+	OnlineMiner = core.OnlineMiner
+	// OnlineMineConfig parameterizes an OnlineMiner (refit cadence,
+	// top-K bound, columnar spill directory, cold-refit baseline).
+	OnlineMineConfig = core.OnlineConfig
+	// OnlineRanking is one intermediate refit's top-K output with its
+	// solver provenance (warm start, cache reuse, iterations).
+	OnlineRanking = core.OnlineRanking
+	// CampaignOnline switches MineCampaign to the streaming-ingest path;
+	// set it as CampaignConfig.Online.
+	CampaignOnline = campaign.OnlineOptions
+)
+
+// NewOnlineMiner opens an online miner (and its spill store, when
+// configured).
+func NewOnlineMiner(cfg OnlineMineConfig) (*OnlineMiner, error) {
+	return core.NewOnlineMiner(cfg)
+}
+
+// ExtractBatches converts recorded runs into the batch stream OnlineMiner
+// and MineBatches consume, visiting (run, node, interval) in exactly the
+// order Mine does.
+func ExtractBatches(runs []RunInput, cfg MineConfig) ([]MineBatch, error) {
+	return core.ExtractBatches(runs, cfg)
 }
 
 // SVMDetector is the paper's default detector with every training knob
