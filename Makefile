@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-svm bench-online bench-all golden clean
+.PHONY: all build test race vet bench bench-svm bench-online bench-spec bench-all golden clean
 
 all: build vet test
 
@@ -34,6 +34,12 @@ bench-svm:
 # minutes on one core).
 bench-online:
 	$(GO) test -run xxx -bench 'BenchmarkOnlineMine|BenchmarkOnlineIngest' -benchmem -timeout 60m ./internal/core/
+
+# The speculative-emulation benchmarks behind BENCH_PR8.json: record phase
+# of the multihop chain, sequential vs conservative vs speculative sections
+# across worker counts, with rollback rates.
+bench-spec:
+	$(GO) test -run xxx -bench 'BenchmarkRecordParallelNodes|BenchmarkRecordSpeculativeNodes' -benchmem -timeout 30m ./internal/synth/
 
 # Every benchmark, including the paper-evaluation harness (slow).
 bench-all:

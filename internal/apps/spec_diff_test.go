@@ -1,0 +1,78 @@
+package apps
+
+// Differential testing of the speculative (Time-Warp-lite) scheduler: every
+// scenario is executed sequentially and again with optimistic sections at
+// several worker counts and speculation depths, and all serialized traces
+// must be byte-identical. Speculation is required to be a pure wall-clock
+// optimization with no observable effect, exactly like the conservative
+// sections before it — rollbacks and all.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// specDepths are the initial window depths (quanta) the speculative
+// differential scenarios are exercised at: a tiny window that forces
+// frequent section turnover, the default, and a deep window that maximizes
+// optimistic exposure (and therefore rollbacks).
+var specDepths = []int{8, 0, 512}
+
+// TestSpeculativeEngineDifferential asserts byte-identical traces between
+// the sequential scheduler and speculative sections at every worker count
+// and depth, on all three case studies.
+func TestSpeculativeEngineDifferential(t *testing.T) {
+	oscSeconds, fwdSeconds, ctpSeconds := 10.0, 20.0, 15.0
+	if testing.Short() {
+		oscSeconds, fwdSeconds, ctpSeconds = 2, 4, 3
+	}
+	scenarios := []struct {
+		name string
+		run  func(workers, depth int) (*Run, error)
+	}{
+		{"oscilloscope", func(w, d int) (*Run, error) {
+			return RunOscilloscope(OscConfig{
+				PeriodMS: 20, Seconds: oscSeconds, Seed: 100,
+				NodeWorkers: w, Speculate: w > 1, SpecDepth: d,
+			})
+		}},
+		{"forwarder", func(w, d int) (*Run, error) {
+			return RunForwarder(ForwarderConfig{
+				Seconds: fwdSeconds, Seed: 7,
+				NodeWorkers: w, Speculate: w > 1, SpecDepth: d,
+			})
+		}},
+		{"ctpheartbeat", func(w, d int) (*Run, error) {
+			return RunCTPHeartbeat(CTPConfig{
+				Seconds: ctpSeconds, Seed: 20,
+				NodeWorkers: w, Speculate: w > 1, SpecDepth: d,
+			})
+		}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			seq, err := sc.run(1, 0)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			specSections := uint64(0)
+			for _, w := range parallelWorkerCounts() {
+				for _, d := range specDepths {
+					w, d := w, d
+					t.Run(fmt.Sprintf("workers=%d/depth=%d", w, d), func(t *testing.T) {
+						spec, err := sc.run(w, d)
+						if err != nil {
+							t.Fatalf("speculative(%d,%d): %v", w, d, err)
+						}
+						assertTracesIdentical(t, seq.Trace, spec.Trace)
+						specSections += spec.Stats.SpecSections
+					})
+				}
+			}
+			if specSections == 0 {
+				t.Errorf("no speculative sections ran in any configuration")
+			}
+		})
+	}
+}

@@ -45,6 +45,14 @@ type Config struct {
 	// run pool. Traces, and therefore rankings, are identical at any
 	// setting.
 	NodeWorkers int
+	// Speculate and SpecDepth select speculative emulation for each run
+	// (sim.Config.Speculate / SpecDepth): optimistic sections with
+	// snapshot/rollback on top of the conservative parallel engine.
+	// RunFunc builders pass them into their scenario configs alongside
+	// NodeWorkers. Traces, and therefore rankings, are identical at any
+	// setting.
+	Speculate bool
+	SpecDepth int
 	// SVMCacheBytes bounds the default detector's kernel column cache;
 	// see core.Config.SVMCacheBytes. Rankings are bit-identical at any
 	// budget. Ignored when Detector is set explicitly.
@@ -163,6 +171,8 @@ func Mine(cfg Config, runs []RunFunc) (*core.Ranking, error) {
 		SVMCacheBytes: cfg.SVMCacheBytes,
 		SVMShrinking:  cfg.SVMShrinking,
 		NodeWorkers:   cfg.NodeWorkers,
+		Speculate:     cfg.Speculate,
+		SpecDepth:     cfg.SpecDepth,
 	})
 }
 
@@ -186,6 +196,8 @@ func mineOnline(cfg Config, runs []RunFunc, workers int, pool *lifecycle.Scratch
 			SVMCacheBytes: cfg.SVMCacheBytes,
 			SVMShrinking:  cfg.SVMShrinking,
 			NodeWorkers:   cfg.NodeWorkers,
+			Speculate:     cfg.Speculate,
+			SpecDepth:     cfg.SpecDepth,
 		},
 		RefitEvery: cfg.Online.RefitEvery,
 		TopK:       cfg.Online.TopK,

@@ -94,6 +94,12 @@ type Config struct {
 	// recorded traces are byte-identical at any setting, so rankings can
 	// never depend on it.
 	NodeWorkers int
+	// Speculate and SpecDepth record the speculative-emulation settings
+	// the runs were recorded with (sim.Config.Speculate / SpecDepth),
+	// carried for the same record+mine bookkeeping as NodeWorkers. Like
+	// it, mining never reads them and rankings cannot depend on them.
+	Speculate bool
+	SpecDepth int
 }
 
 // defaultDetector builds the detector used when cfg.Detector is nil: the

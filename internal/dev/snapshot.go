@@ -1,0 +1,190 @@
+package dev
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Snapshotter is the optional capability behind speculative emulation
+// (internal/sim): a device that can serialize its mutable state into a byte
+// buffer and restore it later. SnapshotState appends to buf and returns the
+// extended slice; RestoreState consumes the same bytes from the front of
+// buf and returns the remainder, so a node can concatenate all device
+// states into one pooled buffer.
+//
+// Snapshottable reports whether a snapshot taken now would be complete —
+// an ADC wrapping a sensor that does not itself implement Snapshotter must
+// answer false, and the scheduler then excludes the whole node from
+// optimistic execution rather than silently losing state.
+type Snapshotter interface {
+	Snapshottable() bool
+	SnapshotState(buf []byte) []byte
+	RestoreState(buf []byte) []byte
+}
+
+// Append/consume helpers shared by the device implementations. Everything
+// is fixed-width little-endian so RestoreState can consume without length
+// prefixes (except for variable-length payload buffers).
+
+func putU64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+func getU64(buf []byte) (uint64, []byte) {
+	return binary.LittleEndian.Uint64(buf), buf[8:]
+}
+
+func putU16(buf []byte, v uint16) []byte {
+	return binary.LittleEndian.AppendUint16(buf, v)
+}
+
+func getU16(buf []byte) (uint16, []byte) {
+	return binary.LittleEndian.Uint16(buf), buf[2:]
+}
+
+func putBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func getBool(buf []byte) (bool, []byte) {
+	return buf[0] != 0, buf[1:]
+}
+
+func putBytes(buf, b []byte) []byte {
+	buf = putU16(buf, uint16(len(b)))
+	return append(buf, b...)
+}
+
+func getBytes(buf []byte, dst []byte) ([]byte, []byte) {
+	n, buf := getU16(buf)
+	return append(dst[:0], buf[:n]...), buf[n:]
+}
+
+func putRNGState(buf []byte, s [4]uint64) []byte {
+	for _, w := range s {
+		buf = putU64(buf, w)
+	}
+	return buf
+}
+
+func getRNGState(buf []byte) ([4]uint64, []byte) {
+	var s [4]uint64
+	for i := range s {
+		s[i], buf = getU64(buf)
+	}
+	return s, buf
+}
+
+// Snapshottable implements Snapshotter.
+func (t *Timer) Snapshottable() bool { return true }
+
+// SnapshotState implements Snapshotter.
+func (t *Timer) SnapshotState(buf []byte) []byte {
+	buf = putU16(buf, t.period)
+	buf = append(buf, t.prescale)
+	buf = putBool(buf, t.running)
+	return putU64(buf, t.nextFire)
+}
+
+// RestoreState implements Snapshotter.
+func (t *Timer) RestoreState(buf []byte) []byte {
+	t.period, buf = getU16(buf)
+	t.prescale, buf = buf[0], buf[1:]
+	t.running, buf = getBool(buf)
+	t.nextFire, buf = getU64(buf)
+	return buf
+}
+
+// Snapshottable implements Snapshotter: the ADC's state includes the
+// sensor it samples, so the sensor must be snapshottable too.
+func (a *ADC) Snapshottable() bool {
+	s, ok := a.sensor.(Snapshotter)
+	return ok && s.Snapshottable()
+}
+
+// SnapshotState implements Snapshotter.
+func (a *ADC) SnapshotState(buf []byte) []byte {
+	buf = putBool(buf, a.busy)
+	buf = putU64(buf, a.readyAt)
+	buf = append(buf, a.lastValue)
+	return a.sensor.(Snapshotter).SnapshotState(buf)
+}
+
+// RestoreState implements Snapshotter.
+func (a *ADC) RestoreState(buf []byte) []byte {
+	a.busy, buf = getBool(buf)
+	a.readyAt, buf = getU64(buf)
+	a.lastValue, buf = buf[0], buf[1:]
+	return a.sensor.(Snapshotter).RestoreState(buf)
+}
+
+// Snapshottable implements Snapshotter.
+func (s *WalkSensor) Snapshottable() bool { return true }
+
+// SnapshotState implements Snapshotter.
+func (s *WalkSensor) SnapshotState(buf []byte) []byte {
+	buf = putRNGState(buf, s.rng.State())
+	return putU64(buf, math.Float64bits(s.value))
+}
+
+// RestoreState implements Snapshotter.
+func (s *WalkSensor) RestoreState(buf []byte) []byte {
+	var st [4]uint64
+	st, buf = getRNGState(buf)
+	s.rng.SetState(st)
+	var bits uint64
+	bits, buf = getU64(buf)
+	s.value = math.Float64frombits(bits)
+	return buf
+}
+
+// Snapshottable implements Snapshotter.
+func (r *Radio) Snapshottable() bool { return true }
+
+// SnapshotState implements Snapshotter.
+func (r *Radio) SnapshotState(buf []byte) []byte {
+	buf = append(buf, r.txDst)
+	buf = putBytes(buf, r.txBuf)
+	buf = putBool(buf, r.lastRej)
+	buf = append(buf, r.txStat, r.rxSrc)
+	buf = putBytes(buf, r.rxBuf)
+	buf = putU16(buf, uint16(r.rxPos))
+	return putU64(buf, uint64(r.rxDrop))
+}
+
+// RestoreState implements Snapshotter.
+func (r *Radio) RestoreState(buf []byte) []byte {
+	r.txDst, buf = buf[0], buf[1:]
+	r.txBuf, buf = getBytes(buf, r.txBuf)
+	r.lastRej, buf = getBool(buf)
+	r.txStat, r.rxSrc, buf = buf[0], buf[1], buf[2:]
+	r.rxBuf, buf = getBytes(buf, r.rxBuf)
+	var pos uint16
+	pos, buf = getU16(buf)
+	r.rxPos = int(pos)
+	var drop uint64
+	drop, buf = getU64(buf)
+	r.rxDrop = int(drop)
+	return buf
+}
+
+// Snapshottable implements Snapshotter.
+func (f *Fuzzer) Snapshottable() bool { return true }
+
+// SnapshotState implements Snapshotter.
+func (f *Fuzzer) SnapshotState(buf []byte) []byte {
+	buf = putRNGState(buf, f.rng.State())
+	return putU64(buf, f.next)
+}
+
+// RestoreState implements Snapshotter.
+func (f *Fuzzer) RestoreState(buf []byte) []byte {
+	var st [4]uint64
+	st, buf = getRNGState(buf)
+	f.rng.SetState(st)
+	f.next, buf = getU64(buf)
+	return buf
+}

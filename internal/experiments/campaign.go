@@ -23,7 +23,7 @@ func CaseICampaign(seedBase uint64) (*core.Ranking, error) {
 		runs[i] = func(attach campaign.Attach) error {
 			run, err := apps.RunOscilloscope(apps.OscConfig{
 				PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
-				NodeWorkers: NodeWorkers,
+				NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth,
 				Stream: map[int]trace.StreamSink{
 					apps.OscSensorID: attach(apps.OscSensorID),
 				},
@@ -41,7 +41,7 @@ func CaseICampaign(seedBase uint64) (*core.Ranking, error) {
 	return campaign.Mine(campaign.Config{
 		IRQ:         dev.IRQADC,
 		Nodes:       []int{apps.OscSensorID},
-		NodeWorkers: NodeWorkers,
+		NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth,
 	}, runs)
 }
 
@@ -131,7 +131,7 @@ func mineCaseIOnline(seedBase uint64, workers, refitEvery int, spillDir string, 
 		runs[i] = func(attach campaign.Attach) error {
 			run, err := apps.RunOscilloscope(apps.OscConfig{
 				PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
-				NodeWorkers: NodeWorkers,
+				NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth,
 				Stream: map[int]trace.StreamSink{
 					apps.OscSensorID: attach(apps.OscSensorID),
 				},
@@ -147,7 +147,7 @@ func mineCaseIOnline(seedBase uint64, workers, refitEvery int, spillDir string, 
 	return campaign.Mine(campaign.Config{
 		IRQ:         dev.IRQADC,
 		Nodes:       []int{apps.OscSensorID},
-		NodeWorkers: NodeWorkers,
+		NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth,
 		Workers:     workers,
 		Online: &campaign.OnlineOptions{
 			RefitEvery: refitEvery,
@@ -165,7 +165,7 @@ func caseIRanking(seedBase uint64) (*core.Ranking, error) {
 	for i, d := range CaseIPeriods {
 		run, err := apps.RunOscilloscope(apps.OscConfig{
 			PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
-			NodeWorkers: NodeWorkers,
+			NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth,
 		})
 		if err != nil {
 			return nil, err

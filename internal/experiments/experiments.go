@@ -35,6 +35,17 @@ const (
 // The cmd/experiments -node-workers flag sets it before the report starts.
 var NodeWorkers int
 
+// Speculate and SpecDepth select speculative emulation for every
+// experiment's record phase (sim.Config.Speculate / SpecDepth): optimistic
+// sections with snapshot/rollback on top of the conservative parallel
+// engine. Like NodeWorkers they cannot change any result — traces are
+// byte-identical at any setting — only record-phase wall clock. The
+// cmd/experiments -speculate / -spec-depth flags set them.
+var (
+	Speculate bool
+	SpecDepth int
+)
+
 // CaseResult summarizes one case-study reproduction.
 type CaseResult struct {
 	Name        string
@@ -71,7 +82,7 @@ func CaseI(seedBase uint64) (*CaseResult, error) {
 			defer wg.Done()
 			runs[i], errs[i] = apps.RunOscilloscope(apps.OscConfig{
 				PeriodMS: d, Seconds: 10, Seed: seedBase + uint64(i),
-				NodeWorkers: NodeWorkers,
+				NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth,
 			})
 		}(i, d)
 	}
@@ -98,7 +109,7 @@ func CaseI(seedBase uint64) (*CaseResult, error) {
 
 // CaseII reproduces Figure 5(b): one 20-second forwarding run.
 func CaseII(seed uint64) (*CaseResult, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: case II: %w", err)
 	}
@@ -119,7 +130,7 @@ func CaseII(seed uint64) (*CaseResult, error) {
 
 // CaseIII reproduces Figure 5(c): one 15-second nine-node run.
 func CaseIII(seed uint64) (*CaseResult, error) {
-	run, err := apps.RunCTPHeartbeat(apps.CTPConfig{Seconds: 15, Seed: seed, NodeWorkers: NodeWorkers})
+	run, err := apps.RunCTPHeartbeat(apps.CTPConfig{Seconds: 15, Seed: seed, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: case III: %w", err)
 	}
@@ -171,7 +182,7 @@ type VolumeResult struct {
 
 // TraceVolume measures the Case-I run at D = 20 ms.
 func TraceVolume() (*VolumeResult, error) {
-	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase, NodeWorkers: NodeWorkers})
+	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +208,7 @@ type EffortResult struct {
 
 // InspectionEffort measures the Case-II workload.
 func InspectionEffort(seed uint64) (*EffortResult, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +247,7 @@ type AblationRow struct {
 
 // DetectorAblation is A1 on Case II.
 func DetectorAblation(seed uint64) ([]AblationRow, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +283,7 @@ func DetectorAblation(seed uint64) ([]AblationRow, error) {
 
 // FeatureAblation is A2 on Case II.
 func FeatureAblation(seed uint64) ([]AblationRow, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +318,7 @@ func FeatureAblation(seed uint64) ([]AblationRow, error) {
 
 // KernelAblation is A3 on Case I run 1.
 func KernelAblation(seed uint64) ([]AblationRow, error) {
-	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: seed, NodeWorkers: NodeWorkers})
+	run, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: seed, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +356,7 @@ func KernelAblation(seed uint64) ([]AblationRow, error) {
 func DustminerBaseline() ([]AblationRow, error) {
 	var rows []AblationRow
 
-	caseIRun, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase, NodeWorkers: NodeWorkers})
+	caseIRun, err := apps.RunOscilloscope(apps.OscConfig{PeriodMS: 20, Seconds: 10, Seed: CaseISeedBase, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -357,7 +368,7 @@ func DustminerBaseline() ([]AblationRow, error) {
 	}
 	rows = append(rows, AblationRow{Name: "Case I (labels supplied)", Extra: score})
 
-	caseIIRun, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: CaseIISeed, NodeWorkers: NodeWorkers})
+	caseIIRun, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: CaseIISeed, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +407,7 @@ func dustminerScore(run *apps.Run, nodeID, irq int, oracle func(lifecycle.Interv
 // reports the rank of the first busy-drop per value — the check that the
 // default 0.05 is not a tuned constant.
 func NuSensitivity(seed uint64) ([]AblationRow, error) {
-	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers})
+	run, err := apps.RunForwarder(apps.ForwarderConfig{Seconds: 20, Seed: seed, NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -430,7 +441,7 @@ func SequentialAblation() (preemptive, sequential int, err error) {
 	count := func(seqMode bool) (int, error) {
 		run, err := apps.RunOscilloscope(apps.OscConfig{
 			PeriodMS: 20, Seconds: 10, Seed: 1, Sequential: seqMode,
-			NodeWorkers: NodeWorkers,
+			NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth,
 		})
 		if err != nil {
 			return 0, err

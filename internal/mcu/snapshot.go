@@ -1,0 +1,48 @@
+package mcu
+
+import "sentomist/internal/isa"
+
+// CPUState is a restorable copy of everything a CPU mutates while
+// executing: registers, RAM, PC/SP, flags, interrupt depth, and the halt
+// latch. The wiring (program, predecoded code, bus, recorder) is not part
+// of the state — Restore puts an existing CPU back onto an earlier point of
+// the same program.
+//
+// The speculative scheduler (internal/sim) snapshots a node's CPU before an
+// optimistic section and restores it when a late medium event invalidates
+// the speculation; CPUState is pooled there, so SaveState reuses the RAM
+// buffer across snapshots.
+type CPUState struct {
+	Regs       [isa.NumRegisters]uint8
+	RAM        []byte
+	PC, SP     uint16
+	Z, N, C, I bool
+	IntDepth   int
+	Halted     bool
+	PostedTask int
+}
+
+// SaveState copies the CPU's mutable state into st, reusing st.RAM when it
+// is already the right size.
+func (c *CPU) SaveState(st *CPUState) {
+	st.Regs = c.Regs
+	st.RAM = append(st.RAM[:0], c.RAM...)
+	st.PC, st.SP = c.PC, c.SP
+	st.Z, st.N, st.C, st.I = c.Z, c.N, c.C, c.I
+	st.IntDepth = c.IntDepth
+	st.Halted = c.Halted
+	st.PostedTask = c.PostedTask
+}
+
+// RestoreState puts the CPU back into a state captured by SaveState on the
+// same CPU (or one executing the same program).
+func (c *CPU) RestoreState(st *CPUState) {
+	c.Regs = st.Regs
+	copy(c.RAM, st.RAM)
+	c.PC, c.SP = st.PC, st.SP
+	c.Z, c.N, c.C, c.I = st.Z, st.N, st.C, st.I
+	c.IntDepth = st.IntDepth
+	c.Halted = st.Halted
+	c.PostedTask = st.PostedTask
+	c.npc = 0
+}

@@ -1,0 +1,64 @@
+package medium
+
+// MACState is a restorable copy of one MAC's mutable state, taken before a
+// node executes optimistically and restored when a late medium event
+// invalidates the speculation. It deliberately covers only state the MAC's
+// own node can change during execution (state machines, generation
+// counters, backoff RNG, stats): within a staging section the node never
+// touches the shared queue, the air, or other MACs, so nothing else needs
+// to roll back. The staged-event buffer is not part of the snapshot — the
+// scheduler discards it explicitly via DiscardStaged.
+type MACState struct {
+	tx txState
+	rx rxState
+
+	dst     int
+	payload []byte
+	tries   int
+	retries int
+
+	txGen, rxGen uint64
+	rxPeer       int
+	airingUntil  uint64
+
+	rng [4]uint64
+
+	sent, delivered, failed, rejected int
+}
+
+// SaveState copies the MAC's mutable state into st, reusing st's payload
+// buffer.
+func (m *MAC) SaveState(st *MACState) {
+	m.init()
+	st.tx, st.rx = m.tx, m.rx
+	st.dst = m.dst
+	st.payload = append(st.payload[:0], m.payload...)
+	st.tries, st.retries = m.tries, m.retries
+	st.txGen, st.rxGen = m.txGen, m.rxGen
+	st.rxPeer = m.rxPeer
+	st.airingUntil = m.airingUntil
+	st.rng = m.rng.State()
+	st.sent, st.delivered, st.failed, st.rejected = m.Sent, m.Delivered, m.Failed, m.Rejected
+}
+
+// RestoreState puts the MAC back into a state captured by SaveState and
+// drops any staged entries accumulated since. The payload is restored into
+// a fresh slice: frames already committed to the air hold references to the
+// previous payload slice until their deliveries fire, so the snapshot
+// buffer must not be aliased into long-lived network state.
+func (m *MAC) RestoreState(st *MACState) {
+	m.tx, m.rx = st.tx, st.rx
+	m.dst = st.dst
+	if len(st.payload) > 0 {
+		m.payload = append([]byte(nil), st.payload...)
+	} else {
+		m.payload = nil
+	}
+	m.tries, m.retries = st.tries, st.retries
+	m.txGen, m.rxGen = st.txGen, st.rxGen
+	m.rxPeer = st.rxPeer
+	m.airingUntil = st.airingUntil
+	m.rng.SetState(st.rng)
+	m.Sent, m.Delivered, m.Failed, m.Rejected = st.sent, st.delivered, st.failed, st.rejected
+	m.net.DiscardStaged(m.id)
+}

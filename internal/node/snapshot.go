@@ -1,0 +1,101 @@
+package node
+
+import (
+	"sentomist/internal/dev"
+	"sentomist/internal/mcu"
+	"sentomist/internal/trace"
+)
+
+// Snapshot is a restorable copy of everything a node mutates while
+// executing: runtime scheduler state (task queue, phase, handler stack,
+// latched IRQs), the CPU, every device, and the recorder's rollback point.
+// The speculative scheduler snapshots a node before optimistic execution
+// and restores it when a late medium event invalidates the speculation; the
+// node's MAC is snapshotted separately (medium.MACState), since package
+// node does not know about the radio medium.
+//
+// Snapshots are pooled by the scheduler: SaveState reuses the Snapshot's
+// internal buffers across sections.
+type Snapshot struct {
+	clock         uint64
+	pending       uint64
+	sleeping      bool
+	ph            phase
+	queue         []taskEntry
+	instanceSeq   int
+	handlerStack  []int
+	taskInstance  int
+	runningTaskID int
+	led           uint8
+
+	cpu mcu.CPUState
+	dev []byte
+	rec trace.RecorderCheckpoint
+}
+
+// CanSnapshot reports whether the node's state is fully capturable: every
+// attached device must implement dev.Snapshotter and answer Snapshottable.
+// Nodes that cannot snapshot are simply excluded from optimistic execution
+// (they keep running under the conservative engine), so a custom test
+// device degrades speculation gracefully instead of corrupting it.
+func (n *Node) CanSnapshot() bool {
+	for _, d := range n.devices {
+		s, ok := d.(dev.Snapshotter)
+		if !ok || !s.Snapshottable() {
+			return false
+		}
+	}
+	return true
+}
+
+// SaveState captures the node's current state into s. The caller must have
+// verified CanSnapshot.
+func (n *Node) SaveState(s *Snapshot) {
+	s.clock = n.clock
+	s.pending = n.pending
+	s.sleeping = n.sleeping
+	s.ph = n.ph
+	s.queue = append(s.queue[:0], n.queue...)
+	s.instanceSeq = n.instanceSeq
+	s.handlerStack = append(s.handlerStack[:0], n.handlerStack...)
+	s.taskInstance = n.taskInstance
+	s.runningTaskID = n.runningTaskID
+	s.led = n.led
+	n.cpu.SaveState(&s.cpu)
+	s.dev = s.dev[:0]
+	for _, d := range n.devices {
+		s.dev = d.(dev.Snapshotter).SnapshotState(s.dev)
+	}
+	n.rec.Checkpoint(&s.rec)
+}
+
+// RestoreState puts the node back into a state captured by SaveState,
+// including rolling the recorder back to the capture point. Everything the
+// node recorded or executed since the snapshot is discarded.
+func (n *Node) RestoreState(s *Snapshot) {
+	n.clock = s.clock
+	n.pending = s.pending
+	n.sleeping = s.sleeping
+	n.ph = s.ph
+	n.queue = append(n.queue[:0], s.queue...)
+	n.instanceSeq = s.instanceSeq
+	n.handlerStack = append(n.handlerStack[:0], s.handlerStack...)
+	n.taskInstance = s.taskInstance
+	n.runningTaskID = s.runningTaskID
+	n.led = s.led
+	n.cpu.RestoreState(&s.cpu)
+	buf := s.dev
+	for _, d := range n.devices {
+		buf = d.(dev.Snapshotter).RestoreState(buf)
+	}
+	n.rec.Rollback(&s.rec)
+	n.err = nil
+}
+
+// BeginSpeculation defers the recorder's streaming-sink delivery until
+// CommitSpeculation; see trace.Recorder.BeginSpeculation.
+func (n *Node) BeginSpeculation() { n.rec.BeginSpeculation() }
+
+// CommitSpeculation flushes buffered sink marks in order and leaves
+// speculation mode; see trace.Recorder.CommitSpeculation.
+func (n *Node) CommitSpeculation() { n.rec.CommitSpeculation() }

@@ -77,7 +77,7 @@ func (s *Sim) trySection(until uint64) (bool, error) {
 	pass := s.members[:0]
 	for i := range s.nodes {
 		if s.runnable[i] {
-			pass = append(pass, sectionTask{idx: i, from: c})
+			pass = append(pass, sectionTask{idx: i, from: c, h: h})
 		}
 		s.sectStop[i] = 0
 		s.sectDead[i] = false
@@ -97,7 +97,7 @@ func (s *Sim) trySection(until uint64) (bool, error) {
 	t := c
 	for len(pass) > 0 {
 		s.stats.ParallelAdvances += uint64(len(pass))
-		s.pool.dispatch(pass, c, q, h, s)
+		s.pool.dispatch(pass, c, q, s)
 		for _, tk := range pass {
 			if s.sectStop[tk.idx] > t {
 				t = s.sectStop[tk.idx]
@@ -130,7 +130,7 @@ func (s *Sim) trySection(until uint64) (bool, error) {
 				b = until
 			}
 			if b <= t {
-				pass = append(pass, sectionTask{idx: i, from: b})
+				pass = append(pass, sectionTask{idx: i, from: b, h: h})
 			}
 		}
 		s.members = pass[:0]
@@ -181,7 +181,9 @@ func (s *Sim) trySection(until uint64) (bool, error) {
 // `from` if it was parked or dormant (a plain advance, exactly like the
 // sequential round that would have picked it up), then run it toward h on
 // the section grid. It records where the node stopped; it never resumes past
-// an idle boundary (see the package comment on grid re-anchoring).
+// an idle boundary (see the package comment on grid re-anchoring). During an
+// optimistic section (specActive) it also records the executed segment, so
+// the speculative validator can replay or roll back the node's activity.
 func (s *Sim) advanceSection(idx int, from, c, q, h uint64) {
 	nd := s.nodes[idx]
 	if from > c {
@@ -189,10 +191,12 @@ func (s *Sim) advanceSection(idx int, from, c, q, h uint64) {
 		nd.Advance(from)
 		if nd.Halted() {
 			s.sectStop[idx], s.sectDead[idx] = from, true
+			s.recordSeg(idx, from)
 			return
 		}
 		if !nd.Runnable() {
 			s.sectStop[idx] = from
+			s.recordSeg(idx, from)
 			return
 		}
 	}
@@ -200,12 +204,14 @@ func (s *Sim) advanceSection(idx int, from, c, q, h uint64) {
 	b, st := nd.AdvanceJump(h, c, q, nil)
 	s.sectStop[idx] = b
 	s.sectDead[idx] = st == node.JumpDead
+	s.recordSeg(idx, from)
 }
 
 // sectionTask is one node advance inside a section pass.
 type sectionTask struct {
 	idx  int
 	from uint64 // wake boundary; == section start for already-running nodes
+	h    uint64 // advance target (the section horizon, or the node's window)
 }
 
 // passDesc is the shared state of one dispatched pass. Each dispatch gets a
@@ -213,7 +219,7 @@ type sectionTask struct {
 // can never steal work from the next one.
 type passDesc struct {
 	tasks   []sectionTask
-	c, q, h uint64
+	c, q    uint64
 	cursor  atomic.Int64
 	pending atomic.Int64
 	sim     *Sim
@@ -253,13 +259,13 @@ func (s *Sim) ensurePool() {
 
 // dispatch runs one pass: hand the tasks to the workers, take part in the
 // draining, and block until every task completed.
-func (p *nodePool) dispatch(tasks []sectionTask, c, q, h uint64, s *Sim) {
+func (p *nodePool) dispatch(tasks []sectionTask, c, q uint64, s *Sim) {
 	if len(tasks) == 1 {
 		// Late fixpoint passes often wake a single node; skip the pool.
-		s.advanceSection(tasks[0].idx, tasks[0].from, c, q, h)
+		s.advanceSection(tasks[0].idx, tasks[0].from, c, q, tasks[0].h)
 		return
 	}
-	d := &passDesc{tasks: tasks, c: c, q: q, h: h, sim: s}
+	d := &passDesc{tasks: tasks, c: c, q: q, sim: s}
 	d.pending.Store(int64(len(tasks)))
 	p.pass.Store(d)
 	p.mu.Lock()
@@ -281,7 +287,7 @@ func (d *passDesc) drain() {
 			return
 		}
 		t := d.tasks[k]
-		d.sim.advanceSection(t.idx, t.from, d.c, d.q, d.h)
+		d.sim.advanceSection(t.idx, t.from, d.c, d.q, t.h)
 		d.pending.Add(-1)
 	}
 }

@@ -1,0 +1,468 @@
+package sim
+
+// Optimistic (Time-Warp-lite) speculative sections.
+//
+// The conservative engine (parallel.go) bounds every section by
+// medium.MinSubmitDelay: no node can be affected by a concurrent submit
+// within that horizon, so sections are provably safe but short — a few
+// hundred cycles — and dense-chatter phases pay a barrier every section.
+//
+// A speculative section drops the proof and buys it back with rollback.
+// Each participating node is snapshotted (node.Snapshot + medium.MACState,
+// covering MCU registers/SRAM/flags, runtime scheduler state, every device,
+// the recorder's rollback point, and the per-node MAC), then executed
+// optimistically toward its own window W_i = clock + quantum*depth_i, far
+// past the conservative horizon. All trace output lands in discardable
+// buffers (the recorder's checkpoint plus deferred StreamSink delivery; see
+// trace.Recorder.BeginSpeculation) and all medium submissions stay staged on
+// the submitting MAC.
+//
+// Validation then replays the committed medium-event order sequentially on
+// the scheduler goroutine: the window's lockstep rounds are realized one by
+// one, due events fire in exact sequential order, and each optimistic
+// node's staged submissions enter the shared queue at the round and node
+// index where a sequential engine would have scheduled them. Optimistic
+// execution never touches shared medium state — every medium→node influence
+// flows through the target's MAC — so a node's speculation is invalid iff a
+// replayed event touches its MAC (a "late raise"). A fire hook on the
+// network catches exactly that case before the event runs: the node is
+// restored to its snapshot, caught up to the previous round boundary by
+// re-executing its recorded segments (byte-identical prefix re-execution),
+// and then advances live under the committed schedule like any
+// non-speculative node. Nodes the replay never touches commit wholesale:
+// their optimistic execution, staged events, and buffered trace output are
+// exactly what a sequential engine would have produced.
+//
+// The one global artifact speculation cannot outrun is grid re-anchoring:
+// if the replay finds a round where nothing is runnable, the sequential
+// engine would jump to the next event and re-anchor its round grid there.
+// The section truncates at that boundary and any node with optimistic
+// activity beyond it rolls back (SpecTruncations).
+//
+// An adaptive policy sizes the gamble: each node's window depth doubles on
+// a committed window and shrinks on rollback (quartered when invalidated by
+// a late event, halved on idle truncation), clamped to
+// [SpecMinDepth, SpecMaxDepth] quanta. Chatter-heavy nodes collapse toward
+// conservative behavior; quiet nodes grow windows that amortize barriers.
+//
+// Traces remain byte-identical to the sequential event-horizon engine at
+// any worker count and any speculation depth: the replay realizes the exact
+// round grid, event order, queue sequence numbers, and interrupt dispatch
+// points a sequential run produces, and everything a rolled-back node
+// recorded past its snapshot is discarded before it can be observed.
+
+import (
+	"fmt"
+	"math"
+
+	"sentomist/internal/medium"
+	"sentomist/internal/node"
+)
+
+// DefaultSpecDepth is the initial optimistic window depth, in quanta.
+const DefaultSpecDepth = 64
+
+// SpecMinDepth and SpecMaxDepth clamp the adaptive per-node window depth.
+const (
+	SpecMinDepth = 4
+	SpecMaxDepth = 1024
+)
+
+// specSeg is one contiguous stretch of a node's optimistic execution: the
+// node was woken at boundary `from` (or was already running there) and ran
+// without parking until boundary `stop`. dead marks a node fault whose
+// sequential report round is `stop`. The replay validator consumes segments
+// in order to answer "was this node runnable at boundary X" and to re-execute
+// the committed prefix after a rollback.
+type specSeg struct {
+	from, stop uint64
+	dead       bool
+}
+
+// nodeSnap bundles one node's rollback state: the node proper and its MAC
+// (package node does not know about the medium). Pooled per sim; SaveState
+// reuses the internal buffers across sections.
+type nodeSnap struct {
+	node node.Snapshot
+	mac  medium.MACState
+	// lastTarget preserves the scheduler's advance cursor so a rollback can
+	// restore the exact fast-forward behaviour of the raise hook (see
+	// onRaise): a rolled-back node that parked before the boundary must
+	// still look "behind" to a later raise, or its interrupt dispatch
+	// timestamps drift off the sequential engine's.
+	lastTarget uint64
+}
+
+// recordSeg appends the segment advanceSection just executed to the node's
+// optimistic segment list. Only the owning worker touches a node's list, so
+// concurrent section workers never race.
+func (s *Sim) recordSeg(idx int, from uint64) {
+	if !s.specActive {
+		return
+	}
+	s.specSeg[idx] = append(s.specSeg[idx], specSeg{
+		from: from, stop: s.sectStop[idx], dead: s.sectDead[idx],
+	})
+}
+
+// specEnsure lazily builds the per-node speculation state.
+func (s *Sim) specEnsure() {
+	if s.specInit {
+		return
+	}
+	s.specInit = true
+	n := len(s.nodes)
+	s.specOK = make([]bool, n)
+	s.specMac = make([]*medium.MAC, n)
+	s.specIdx = make(map[int]int, n)
+	s.specDepth = make([]int, n)
+	s.specWin = make([]uint64, n)
+	s.specPart = make([]bool, n)
+	s.specLive = make([]bool, n)
+	s.specCur = make([]int, n)
+	s.specSeg = make([][]specSeg, n)
+	s.specSnaps = make([]nodeSnap, n)
+	for i, nd := range s.nodes {
+		s.specMac[i] = s.net.MAC(nd.ID)
+		s.specOK[i] = s.specMac[i] != nil && nd.CanSnapshot()
+		s.specDepth[i] = s.specDepth0
+		s.specIdx[nd.ID] = i
+	}
+}
+
+// trySpecSection attempts one optimistic section. It returns false when
+// speculation cannot apply (no radio medium, or fewer than two snapshottable
+// runnable nodes with a worthwhile window); the caller then falls back to
+// the conservative section and the sequential paths.
+func (s *Sim) trySpecSection(until uint64) (bool, error) {
+	if s.net == nil || !s.net.HasMACs() {
+		return false, nil
+	}
+	s.specEnsure()
+	c, q := s.clock, s.quantum
+
+	// Pick participants: runnable, fully snapshottable, and with a window
+	// of at least two quanta left in the run. Everyone else stays under the
+	// authoritative engine and advances live during the replay.
+	parts := 0
+	W := c
+	for i := range s.nodes {
+		s.sectStop[i] = 0
+		s.sectDead[i] = false
+		s.specPart[i] = false
+		s.specLive[i] = false
+		s.specCur[i] = 0
+		s.specSeg[i] = s.specSeg[i][:0]
+	}
+	for i := range s.nodes {
+		if !s.runnable[i] || !s.specOK[i] {
+			continue
+		}
+		w := c + q*uint64(s.specDepth[i])
+		if w > until {
+			w = until
+		}
+		if w <= c+q {
+			continue
+		}
+		s.specPart[i] = true
+		s.specWin[i] = w
+		if w > W {
+			W = w
+		}
+		parts++
+	}
+	if parts < 2 {
+		for i := range s.nodes {
+			s.specPart[i] = false
+		}
+		return false, nil
+	}
+	s.stats.SpecSections++
+
+	// Snapshot each participant (node + MAC) and defer its streaming-sink
+	// delivery; buffered marks are either committed in order at the end of
+	// the section or discarded by a rollback.
+	for i := range s.nodes {
+		if !s.specPart[i] {
+			continue
+		}
+		snap := &s.specSnaps[i]
+		s.nodes[i].SaveState(&snap.node)
+		s.specMac[i].SaveState(&snap.mac)
+		snap.lastTarget = s.lastTarget[i]
+		s.nodes[i].BeginSpeculation()
+	}
+
+	// Optimistic phase: the conservative coverage fixpoint, but with
+	// per-node windows instead of a shared safe horizon. Medium submissions
+	// stay staged on each MAC; the replay releases them round by round.
+	s.net.BeginStaging()
+	s.specActive = true
+	s.ensurePool()
+	pass := s.members[:0]
+	for i := range s.nodes {
+		if s.specPart[i] {
+			pass = append(pass, sectionTask{idx: i, from: c, h: s.specWin[i]})
+		}
+	}
+	t := c
+	for len(pass) > 0 {
+		s.stats.SpecAdvances += uint64(len(pass))
+		s.pool.dispatch(pass, c, q, s)
+		for _, tk := range pass {
+			if s.sectStop[tk.idx] > t {
+				t = s.sectStop[tk.idx]
+			}
+		}
+		// Wake parked participants whose wake round the optimistic frontier
+		// covers. Under-waking is safe: a node that settles early simply
+		// goes live and the replay's rounds serve its wake like any other.
+		pass = pass[:0]
+		for i := range s.nodes {
+			if !s.specPart[i] || s.sectDead[i] || s.sectStop[i] >= s.specWin[i] {
+				continue
+			}
+			w := uint64(math.MaxUint64)
+			if at, ok := s.nodes[i].NextDeviceEvent(); ok {
+				w = at
+			}
+			if w >= s.specWin[i] {
+				continue
+			}
+			b := gridUp(c, q, w)
+			if b > until {
+				b = until
+			}
+			if b <= t && b < s.specWin[i] {
+				pass = append(pass, sectionTask{idx: i, from: b, h: s.specWin[i]})
+			}
+		}
+		s.members = pass[:0]
+	}
+	s.specActive = false
+	s.net.EndStaging()
+
+	// Replay validation: realize the window's lockstep rounds sequentially.
+	// A due event that touches an optimistic node's MAC rolls that node back
+	// to its snapshot (then catches it up to the previous boundary) before
+	// the event observes any state.
+	s.net.SetFireHook(func(at uint64, owner int) {
+		if i, ok := s.specIdx[owner]; ok {
+			s.specRollback(i, c, q, s.prev, 2)
+		}
+	})
+	B := c
+	truncated := false
+	var ferr error
+replay:
+	for B < W {
+		// Globally idle at B? The sequential engine would jump to the next
+		// event and re-anchor its grid; truncate the section here.
+		nRun := 0
+		for i := range s.nodes {
+			if s.specPart[i] && !s.specLive[i] {
+				sg := s.specSeg[i]
+				if k := s.specCur[i]; k < len(sg) && sg[k].from <= B && B < sg[k].stop {
+					nRun++
+				}
+			} else if s.runnable[i] {
+				nRun++
+			}
+		}
+		if nRun == 0 {
+			truncated = true
+			break
+		}
+		t := B + q
+		if t > W {
+			t = W
+		}
+		s.prev = B
+		s.clock = t
+		s.replayNet(t)
+		for i := range s.nodes {
+			if s.specPart[i] && !s.specLive[i] {
+				// Release this node's staged submissions for the round, at
+				// the exact index-order position a sequential engine would
+				// have drawn their queue sequence numbers.
+				s.stats.StagedEvents += uint64(s.net.CommitStagedThrough(s.nodes[i].ID, t))
+				sg := s.specSeg[i]
+				k := s.specCur[i]
+				for k < len(sg) && sg[k].stop <= t {
+					if sg[k].dead {
+						// The optimistic run faulted, no replayed event
+						// deflected it, and this is the round a sequential
+						// engine would report it.
+						s.specCur[i] = k
+						ferr = fmt.Errorf("sim: %w", s.nodes[i].Err())
+						break replay
+					}
+					k++
+				}
+				s.specCur[i] = k
+				if k == len(sg) {
+					// Settled: the node's entire optimistic activity is
+					// validated. Commit it and hand the node back to the
+					// authoritative engine.
+					s.specSettle(i, sg[len(sg)-1].stop)
+					if s.runnable[i] || s.mustAdvance[i] || s.wake[i] <= t {
+						if err := s.advanceNode(i, t); err != nil {
+							ferr = err
+							break replay
+						}
+					}
+				}
+			} else if s.runnable[i] || s.mustAdvance[i] || s.wake[i] <= t {
+				if err := s.advanceNode(i, t); err != nil {
+					ferr = err
+					break replay
+				}
+			}
+		}
+		B = t
+	}
+	s.net.SetFireHook(nil)
+
+	if truncated {
+		// Roll back every participant with optimistic activity beyond the
+		// truncation boundary; their windows simply overshot the app's
+		// activity, so shrink gently (halve, not quarter).
+		s.stats.SpecTruncations++
+		for i := range s.nodes {
+			if s.specPart[i] && !s.specLive[i] {
+				s.specRollback(i, c, q, B, 1)
+			}
+		}
+	}
+	if ferr != nil {
+		// The run aborts; drop whatever invalid speculation remains so the
+		// medium holds no stale staged entries.
+		for i := range s.nodes {
+			if s.specPart[i] && !s.specLive[i] {
+				s.net.DiscardStaged(s.nodes[i].ID)
+			}
+			if s.specPart[i] {
+				s.specPart[i] = false
+			}
+		}
+		return true, ferr
+	}
+	// Commit buffered sink marks in node-index order. Rolled-back nodes
+	// already truncated their buffers to the committed prefix, so the sink
+	// observes exactly the sequential marker stream.
+	for i := range s.nodes {
+		if s.specPart[i] {
+			s.nodes[i].CommitSpeculation()
+			s.specPart[i] = false
+		}
+	}
+	if B > s.clock {
+		s.clock = B
+	}
+	return true, nil
+}
+
+// replayNet fires due network events for the round ending at t and
+// re-derives the scheduler caches of every authoritative node (optimistic
+// nodes' caches are rebuilt when they settle or roll back).
+func (s *Sim) replayNet(t uint64) {
+	if at, ok := s.net.NextEvent(); !ok || at > t {
+		return
+	}
+	s.net.Advance(t)
+	for i := range s.nodes {
+		if s.specPart[i] && !s.specLive[i] {
+			continue
+		}
+		s.refresh(i)
+	}
+}
+
+// specSettle commits node i's optimistic window wholesale: its execution,
+// trace output, and (already released) staged events are exactly what a
+// sequential engine would have produced. stop is the boundary its activity
+// ended on — the last round target a sequential engine advanced it to.
+func (s *Sim) specSettle(i int, stop uint64) {
+	s.stats.SpecCommits++
+	for _, sg := range s.specSeg[i] {
+		s.stats.SpecCyclesCommitted += sg.stop - sg.from
+	}
+	s.specLive[i] = true
+	s.lastTarget[i] = stop
+	s.mustAdvance[i] = false
+	s.refresh(i)
+	if d := s.specDepth[i] * 2; d <= SpecMaxDepth {
+		s.specDepth[i] = d
+	} else {
+		s.specDepth[i] = SpecMaxDepth
+	}
+}
+
+// specRollback invalidates node i's speculation: restore the snapshot,
+// re-execute the committed prefix (everything up to the last validated
+// boundary B) under local staging, discard the duplicate staged entries,
+// and hand the node back to the authoritative engine. shrink is the depth
+// penalty in halvings (2 = late-event invalidation, 1 = idle truncation).
+func (s *Sim) specRollback(i int, c, q, B uint64, shrink uint) {
+	if !s.specPart[i] || s.specLive[i] {
+		return
+	}
+	s.stats.SpecRollbacks++
+	segs := s.specSeg[i]
+	for _, sg := range segs {
+		if sg.stop > B {
+			from := sg.from
+			if from < B {
+				from = B
+			}
+			s.stats.SpecCyclesDiscarded += sg.stop - from
+		}
+	}
+	nd := s.nodes[i]
+	snap := &s.specSnaps[i]
+	nd.RestoreState(&snap.node)
+	s.specMac[i].RestoreState(&snap.mac)
+	// Catch up to B by re-executing the recorded segments — the identical
+	// instruction stream the optimistic run produced up to B, so the
+	// recorder's committed prefix and the MAC's generation counters land
+	// exactly where a sequential run would have them. The submissions this
+	// re-executes were already released to the queue at their rounds;
+	// stage them locally and drop them. The raise hook's fast-forward must
+	// stay dormant exactly as it did during the optimistic run (prev was
+	// at or before the section start then), so park s.prev while the
+	// catch-up replays raises that were already grid-correct; only node
+	// i's own raises can occur here, so no other node observes the parked
+	// value.
+	savedPrev := s.prev
+	s.prev = 0
+	s.lastTarget[i] = snap.lastTarget
+	s.specMac[i].SetLocalStaging(true)
+	replayed := false
+	for _, sg := range segs {
+		if sg.from > B {
+			break
+		}
+		s.advanceSection(i, sg.from, c, q, B)
+		replayed = true
+	}
+	s.specMac[i].SetLocalStaging(false)
+	s.prev = savedPrev
+	s.net.DiscardStaged(nd.ID)
+	s.specLive[i] = true
+	if replayed {
+		// Exactly the conservative barrier's bookkeeping: the cursor points
+		// at the boundary the node actually stopped on, so a later raise
+		// fast-forwards it from there — not at the validated horizon, which
+		// would suppress the fast-forward and stamp interrupt dispatches at
+		// the node's stale park clock.
+		s.lastTarget[i] = s.sectStop[i]
+	}
+	s.mustAdvance[i] = false
+	s.refresh(i)
+	d := s.specDepth[i] >> shrink
+	if d < SpecMinDepth {
+		d = SpecMinDepth
+	}
+	s.specDepth[i] = d
+}

@@ -1,0 +1,207 @@
+package synth
+
+// Differential testing of the speculative (Time-Warp-lite) scheduler over
+// the many-node synthetic scenarios: optimistic sections with rollback must
+// produce byte-identical traces to the sequential engine on the multihop
+// benchmark chain, on random generated topologies, and under fuzzing — at
+// every worker count and speculation depth, including configurations chosen
+// to force rollbacks.
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"sentomist/internal/apps"
+)
+
+// specMultihop runs the benchmark chain with speculation and returns the
+// serialized trace plus the run's scheduler stats.
+func specMultihop(t testing.TB, nodes, workers, depth int, seconds float64) ([]byte, *apps.Run) {
+	t.Helper()
+	r, err := Multihop(MultihopConfig{
+		Nodes: nodes, Seconds: seconds, Seed: 1, NodeWorkers: workers,
+		Speculate: workers > 1, SpecDepth: depth,
+	})
+	if err != nil {
+		t.Fatalf("multihop(nodes=%d workers=%d depth=%d): %v", nodes, workers, depth, err)
+	}
+	var b bytes.Buffer
+	if err := r.Trace.WriteBinary(&b); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return b.Bytes(), r
+}
+
+// TestMultihopSpeculativeDifferential: the benchmark chain's trace must be
+// byte-identical between the sequential scheduler and speculative sections
+// at every worker count and initial window depth, across chain lengths.
+// Depth 512 on the long chains maximizes optimistic exposure and reliably
+// forces rollbacks; depth 8 forces rapid section turnover.
+func TestMultihopSpeculativeDifferential(t *testing.T) {
+	counts := []int{2, 4, runtime.GOMAXPROCS(0)}
+	depths := []int{8, 0, 512}
+	for _, nodes := range []int{8, 12, 16} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			seconds := 1.0
+			if testing.Short() {
+				seconds = 0.3
+			}
+			seq := multihopTrace(t, nodes, 1, seconds)
+			for _, w := range counts {
+				for _, d := range depths {
+					if spec, _ := specMultihop(t, nodes, w, d, seconds); !bytes.Equal(seq, spec) {
+						t.Errorf("workers=%d depth=%d: trace differs from sequential (%d vs %d bytes)",
+							w, d, len(seq), len(spec))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultihopSpeculationEngages: the benchmark scenario must actually run
+// through optimistic sections — committing the bulk of its cycles
+// speculatively — and the deep-window configuration must exercise the
+// rollback path, all while staying byte-identical (checked above).
+func TestMultihopSpeculationEngages(t *testing.T) {
+	_, r := specMultihop(t, 12, 4, 512, 2.0)
+	defer r.Release()
+	st := r.Stats
+	if st.SpecSections == 0 {
+		t.Fatal("no speculative sections ran")
+	}
+	if st.SpecCommits == 0 {
+		t.Fatal("no speculative windows committed")
+	}
+	if st.SpecRollbacks == 0 {
+		t.Fatal("no rollbacks at depth 512; the test no longer exercises invalidation")
+	}
+	if st.SpecCyclesCommitted == 0 {
+		t.Fatal("no cycles committed speculatively")
+	}
+	if st.SpecCyclesCommitted < st.SpecCyclesDiscarded {
+		t.Errorf("speculation wasted more than it committed: %d committed vs %d discarded",
+			st.SpecCyclesCommitted, st.SpecCyclesDiscarded)
+	}
+}
+
+// TestSpeculativeRandomTopologies extends the random-scenario differential
+// sweep to the speculative engine: generated workloads (random topologies,
+// fuzzer-driven interrupts, radio beacons) must stay byte-identical to the
+// sequential run at every worker count and depth.
+func TestSpeculativeRandomTopologies(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	depths := []int{0, 256}
+	for seed := 0; seed < seeds; seed++ {
+		cfg := Config{Seed: uint64(seed), ExactNodes: 8, Seconds: 0.5}
+		seq, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var sb bytes.Buffer
+		if err := seq.Trace.WriteBinary(&sb); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+			for _, d := range depths {
+				cfg.NodeWorkers, cfg.Speculate, cfg.SpecDepth = w, true, d
+				spec, err := Generate(cfg)
+				if err != nil {
+					t.Fatalf("seed %d workers %d depth %d: %v", seed, w, d, err)
+				}
+				var pb bytes.Buffer
+				if err := spec.Trace.WriteBinary(&pb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+					t.Errorf("seed %d workers %d depth %d: speculative trace differs (%d vs %d bytes)",
+						seed, w, d, sb.Len(), pb.Len())
+				}
+			}
+		}
+	}
+}
+
+// FuzzSpeculativeTrace fuzzes the speculative scheduler's equivalence gate:
+// for any generation seed, node count, worker count, and window depth, the
+// serialized trace must be byte-identical to the sequential run.
+func FuzzSpeculativeTrace(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(4), uint16(0))
+	f.Add(uint64(7), uint8(12), uint8(2), uint16(512))
+	f.Add(uint64(42), uint8(3), uint8(3), uint16(8))
+	f.Add(uint64(1234), uint8(16), uint8(8), uint16(100))
+	f.Fuzz(func(t *testing.T, seed uint64, nodes, workers uint8, depth uint16) {
+		n := int(nodes%16) + 2
+		w := int(workers%8) + 2
+		d := int(depth % 1024)
+		cfg := Config{Seed: seed, ExactNodes: n, Seconds: 0.3}
+		seq, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb bytes.Buffer
+		if err := seq.Trace.WriteBinary(&sb); err != nil {
+			t.Fatal(err)
+		}
+		cfg.NodeWorkers, cfg.Speculate, cfg.SpecDepth = w, true, d
+		spec, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pb bytes.Buffer
+		if err := spec.Trace.WriteBinary(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Fatalf("seed %d nodes %d workers %d depth %d: speculative trace differs (%d vs %d bytes)",
+				seed, n, w, d, sb.Len(), pb.Len())
+		}
+	})
+}
+
+// BenchmarkRecordSpeculativeNodes measures the record phase of the
+// benchmark chain under the speculative engine across worker counts,
+// against the conservative engine at the same counts (workers=N/spec=off)
+// and the sequential baseline (workers=1). Cycles-per-second rates make
+// runs on different hardware comparable.
+func BenchmarkRecordSpeculativeNodes(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		counts = append(counts, p)
+	}
+	const seconds = 2.0
+	for _, w := range counts {
+		for _, spec := range []bool{false, true} {
+			if w == 1 && spec {
+				continue
+			}
+			w, spec := w, spec
+			name := fmt.Sprintf("workers=%d/spec=%v", w, spec)
+			b.Run(name, func(b *testing.B) {
+				var roll, sect uint64
+				for i := 0; i < b.N; i++ {
+					r, err := Multihop(MultihopConfig{
+						Nodes: 12, Seconds: seconds, Seed: 1, NodeWorkers: w,
+						Speculate: spec,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					roll += r.Stats.SpecRollbacks
+					sect += r.Stats.SpecSections
+					r.Release()
+				}
+				b.ReportMetric(seconds*1e6*float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+				if sect > 0 {
+					b.ReportMetric(float64(roll)/float64(b.N), "rollbacks/op")
+				}
+			})
+		}
+	}
+}

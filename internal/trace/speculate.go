@@ -1,0 +1,143 @@
+package trace
+
+// Speculative recording support. The optimistic scheduler (internal/sim)
+// lets a node run past the point where its inputs are certain; everything
+// the node records after a Checkpoint must be discardable. Two mechanisms
+// cover the recorder's outputs:
+//
+//   - Materialized markers, truth entries, delta arenas, and the dense
+//     counter roll back in place via Checkpoint/Rollback — appends never
+//     mutate earlier entries (a full arena is replaced, not grown), so
+//     truncating restores the exact pre-checkpoint state.
+//
+//   - A StreamSink cannot un-observe a marker, so while speculation is
+//     active (BeginSpeculation) sink calls are buffered instead of
+//     delivered. Rollback drops the buffered tail; CommitSpeculation
+//     replays the surviving buffer into the sink in order. The sink
+//     therefore observes exactly the committed marker sequence, byte- and
+//     order-identical to a sequential run.
+
+// specMark is one deferred StreamSink.OnMark call. The touched PCs and
+// their counts are flattened into the recorder's spec buffers; off/n locate
+// this mark's span.
+type specMark struct {
+	kind     Kind
+	arg      int
+	cycle    uint64
+	instance int
+	off, n   int
+}
+
+// RecorderCheckpoint captures a rollback point of one recorder. The zero
+// value is ready to use; reusing a checkpoint across sections recycles its
+// internal buffers.
+type RecorderCheckpoint struct {
+	markers, truth, arenas int
+	arena                  []Delta
+	touched                []uint16
+	counts                 []uint32
+	minSP                  uint16
+	specMarks, specPCs     int
+}
+
+// Checkpoint records the recorder's current state into cp so Rollback can
+// return to it. Call only between markers of a consistent state (the
+// scheduler checkpoints at section boundaries).
+func (r *Recorder) Checkpoint(cp *RecorderCheckpoint) {
+	cp.markers = len(r.nt.Markers)
+	cp.truth = len(r.nt.TruthInstance)
+	cp.arenas = len(r.nt.arenas)
+	cp.arena = r.arena
+	cp.touched = append(cp.touched[:0], r.d.Touched...)
+	cp.counts = cp.counts[:0]
+	for _, pc := range cp.touched {
+		cp.counts = append(cp.counts, r.d.Counts[pc])
+	}
+	cp.minSP = r.minSP
+	cp.specMarks = len(r.specMarks)
+	cp.specPCs = len(r.specPCs)
+}
+
+// Rollback discards everything recorded since Checkpoint filled cp:
+// markers, truth entries, arena space, buffered sink marks, and the dense
+// counter's accumulation. The recorder continues recording from the
+// checkpointed state.
+func (r *Recorder) Rollback(cp *RecorderCheckpoint) {
+	ms := r.nt.Markers
+	for i := cp.markers; i < len(ms); i++ {
+		ms[i] = Marker{}
+	}
+	r.nt.Markers = ms[:cp.markers]
+	if r.nt.TruthInstance != nil {
+		r.nt.TruthInstance = r.nt.TruthInstance[:cp.truth]
+	}
+	tail := r.nt.arenas[cp.arenas:]
+	for i := range tail {
+		putArena(tail[i])
+		tail[i] = nil
+	}
+	r.nt.arenas = r.nt.arenas[:cp.arenas]
+	r.arena = cp.arena
+	for _, pc := range r.d.Touched {
+		r.d.Counts[pc] = 0
+	}
+	r.d.Touched = append(r.d.Touched[:0], cp.touched...)
+	for i, pc := range cp.touched {
+		r.d.Counts[pc] = cp.counts[i]
+	}
+	r.minSP = cp.minSP
+	r.specMarks = r.specMarks[:cp.specMarks]
+	r.specPCs = r.specPCs[:cp.specPCs]
+	r.specCounts = r.specCounts[:cp.specPCs]
+}
+
+// BeginSpeculation defers StreamSink delivery: subsequent Mark calls buffer
+// their sink observation instead of calling OnMark. Material recording
+// (markers, deltas) is unaffected — it rolls back via Rollback. No-op
+// without a sink.
+func (r *Recorder) BeginSpeculation() { r.spec = true }
+
+// CommitSpeculation replays every buffered sink mark into the sink, in
+// recording order, and leaves speculation mode. The dense scratch handed to
+// the sink is reconstructed per mark, honoring the OnMark contract (full
+// dense counts, nonzero exactly at the touched PCs).
+func (r *Recorder) CommitSpeculation() {
+	r.spec = false
+	if r.sink == nil || len(r.specMarks) == 0 {
+		r.specMarks = r.specMarks[:0]
+		r.specPCs = r.specPCs[:0]
+		r.specCounts = r.specCounts[:0]
+		return
+	}
+	scratch := getDense(r.nt.ProgramLen)
+	for _, sm := range r.specMarks {
+		touched := r.specPCs[sm.off : sm.off+sm.n]
+		counts := r.specCounts[sm.off : sm.off+sm.n]
+		for i, pc := range touched {
+			scratch.counts[pc] = counts[i]
+		}
+		r.sink.OnMark(sm.kind, sm.arg, sm.cycle, sm.instance, touched, scratch.counts)
+		for _, pc := range touched {
+			scratch.counts[pc] = 0
+		}
+	}
+	r.specMarks = r.specMarks[:0]
+	r.specPCs = r.specPCs[:0]
+	r.specCounts = r.specCounts[:0]
+	scratch.touched = scratch.touched[:0]
+	densePool.Put(scratch)
+}
+
+// bufferMark captures a sink observation for later replay; called by Mark
+// while speculation is active.
+func (r *Recorder) bufferMark(kind Kind, arg int, cycle uint64, instance int) {
+	off := len(r.specPCs)
+	r.specPCs = append(r.specPCs, r.d.Touched...)
+	for _, pc := range r.d.Touched {
+		r.specCounts = append(r.specCounts, r.d.Counts[pc])
+	}
+	r.specMarks = append(r.specMarks, specMark{
+		kind: kind, arg: arg, cycle: cycle, instance: instance,
+		off: off, n: len(r.d.Touched),
+	})
+}
