@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-svm bench-online bench-spec bench-all golden clean
+.PHONY: all build test race vet bench bench-svm bench-online bench-spec bench-all bench-quality golden clean
 
 all: build vet test
 
@@ -44,6 +44,13 @@ bench-spec:
 # Every benchmark, including the paper-evaluation harness (slow).
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Evaluate the Sentomist-bench seeded-bug corpus and gate precision@k /
+# MRR against the checked-in baseline (docs/BENCH.md). Regenerate the
+# baseline deliberately with:
+#   $(GO) run ./cmd/rank -bench -bench-update BENCH_QUALITY.json
+bench-quality:
+	$(GO) run ./cmd/rank -bench -bench-baseline BENCH_QUALITY.json
 
 # Regenerate-and-diff the pinned ranking tables.
 golden:

@@ -175,6 +175,18 @@ func run() error {
 	}
 	fmt.Println()
 
+	// E8: ranking quality over the seeded-bug corpus.
+	fmt.Println("E8 — ranking quality over the Sentomist-bench corpus")
+	fmt.Println("  paper: top-ranked intervals manually confirmed to contain the bug (Fig. 5)")
+	t0 = time.Now()
+	rep, err := experiments.RankingQuality()
+	elapsed = time.Since(t0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  measured (%d seeded bugs, %v):\n\n", len(rep.Entries), elapsed.Round(time.Millisecond))
+	fmt.Println(indent(rep.Format(), "  "))
+
 	// A5: simulator fidelity.
 	pre, seqMode, err := experiments.SequentialAblation()
 	if err != nil {

@@ -15,21 +15,25 @@ import (
 	"strings"
 
 	"sentomist"
+	"sentomist/internal/bench"
 )
 
 type options struct {
-	irq         int
-	nodesCSV    string
-	detector    string
-	nu          float64
-	top         int
-	bottom      int
-	parallelism int
-	svmCacheMB  int
-	svmShrink   bool
-	onlineRefit int
-	onlineTopK  int
-	spillDir    string
+	irq           int
+	nodesCSV      string
+	detector      string
+	nu            float64
+	top           int
+	bottom        int
+	parallelism   int
+	svmCacheMB    int
+	svmShrink     bool
+	onlineRefit   int
+	onlineTopK    int
+	spillDir      string
+	bench         bool
+	benchBaseline string
+	benchUpdate   string
 }
 
 func main() {
@@ -46,7 +50,17 @@ func main() {
 	flag.IntVar(&opt.onlineRefit, "online-refit", 0, "rank as you go: refit the SVM warm every N ingested batches and print each intermediate top-K; the final ranking is bit-identical to the one-shot path (svm detector only)")
 	flag.IntVar(&opt.onlineTopK, "online-topk", 10, "intermediate rankings keep the K most suspicious intervals (with -online-refit)")
 	flag.StringVar(&opt.spillDir, "spill-dir", "", "spill featured intervals to a columnar SENTCOL1 file in this directory instead of holding them in memory between refits (with -online-refit; results identical)")
+	flag.BoolVar(&opt.bench, "bench", false, "evaluate the Sentomist-bench seeded-bug corpus (precision@k and MRR per bug class) instead of ranking trace files")
+	flag.StringVar(&opt.benchBaseline, "bench-baseline", "", "with -bench: compare the report against this JSON baseline and exit nonzero on any difference")
+	flag.StringVar(&opt.benchUpdate, "bench-update", "", "with -bench: write the report to this JSON baseline file")
 	flag.Parse()
+	if opt.bench {
+		if err := runBench(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "rank:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if opt.irq == 0 || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "rank: usage: rank -irq N [-nodes 1,2] trace [trace...]")
 		os.Exit(2)
@@ -188,5 +202,39 @@ func runOnline(opt options, inputs []sentomist.RunInput, nodeIDs []int, labels s
 	fmt.Printf("\nfinal: %d intervals (%d excluded as incomplete), %d dims, detector %s:\n\n",
 		len(ranking.Samples), ranking.Excluded, ranking.Dim, ranking.Detector)
 	fmt.Print(ranking.Table(opt.top, opt.bottom))
+	return nil
+}
+
+// runBench is the Sentomist-bench entry point: evaluate the seeded-bug
+// corpus, print the ranking-quality report, and optionally gate it against
+// (or regenerate) the checked-in baseline.
+func runBench(opt options) error {
+	bench.NodeWorkers = opt.parallelism
+	rep, err := bench.EvaluateAll(bench.Catalog())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	if opt.benchUpdate != "" {
+		if err := bench.WriteBaseline(rep, opt.benchUpdate); err != nil {
+			return err
+		}
+		fmt.Printf("\nbaseline written to %s\n", opt.benchUpdate)
+	}
+	if opt.benchBaseline != "" {
+		want, err := bench.LoadBaseline(opt.benchBaseline)
+		if err != nil {
+			return err
+		}
+		diffs := bench.Compare(rep, want)
+		if len(diffs) > 0 {
+			fmt.Fprintf(os.Stderr, "\nranking quality diverged from %s:\n", opt.benchBaseline)
+			for _, d := range diffs {
+				fmt.Fprintln(os.Stderr, "  "+d)
+			}
+			return fmt.Errorf("%d difference(s) against the baseline (regenerate deliberately with -bench-update)", len(diffs))
+		}
+		fmt.Printf("\nbaseline %s: match\n", opt.benchBaseline)
+	}
 	return nil
 }

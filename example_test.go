@@ -33,7 +33,11 @@ func Example() {
 	fmt.Printf("busy drops: %d\n", drops)
 	hits := 0
 	for _, s := range ranking.Top(3) {
-		if sentomist.CaseIISymptom(run, s.Interval) {
+		sym, err := sentomist.CaseIISymptom(run, s.Interval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sym {
 			hits++
 		}
 	}

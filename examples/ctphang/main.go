@@ -53,10 +53,18 @@ func main() {
 
 	fmt.Println("\noracle check of the top ranks:")
 	for i, s := range ranking.Top(5) {
+		trig, err := sentomist.CaseIIITrigger(run, s.Interval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sym, err := sentomist.CaseIIISymptom(run, s.Interval)
+		if err != nil {
+			log.Fatal(err)
+		}
 		kind := "normal"
-		if sentomist.CaseIIITrigger(run, s.Interval) {
+		if trig {
 			kind = "FAIL TRIGGER (the unhandled failure)"
-		} else if sentomist.CaseIIISymptom(run, s.Interval) {
+		} else if sym {
 			kind = "post-hang skip (collection wedged)"
 		}
 		fmt.Printf("  rank %d: %-8s -> %s\n", i+1, s.Label(sentomist.LabelNodeSeq), kind)
@@ -65,7 +73,11 @@ func main() {
 	// Show the hang from the sink's point of view: deliveries from the
 	// hung node's origin stop after the failure.
 	trigRank := ranking.RankOf(func(s sentomist.Sample) bool {
-		return sentomist.CaseIIITrigger(run, s.Interval)
+		trig, err := sentomist.CaseIIITrigger(run, s.Interval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return trig
 	})
 	if trigRank == 0 {
 		fmt.Println("\nno FAIL trigger in this run")

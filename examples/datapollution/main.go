@@ -80,7 +80,11 @@ func main() {
 	// which is exactly the manual confirmation step of the paper.
 	pollutions := 0
 	for _, s := range ranking.Samples {
-		if sentomist.CaseISymptom(runs[s.Run-1], s.Interval) {
+		sym, err := sentomist.CaseISymptom(runs[s.Run-1], s.Interval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sym {
 			pollutions++
 		}
 	}
@@ -96,7 +100,11 @@ func main() {
 	}
 	fixedPollutions := 0
 	for _, iv := range fixedIvs {
-		if sentomist.CaseISymptom(fixedRun, iv) {
+		sym, err := sentomist.CaseISymptom(fixedRun, iv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sym {
 			fixedPollutions++
 		}
 	}

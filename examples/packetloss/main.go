@@ -50,8 +50,12 @@ func main() {
 	// intervals never touch.
 	fmt.Println("\noracle check of the top ranks:")
 	for i, s := range ranking.Top(int(dropped) + 2) {
+		sym, err := sentomist.CaseIISymptom(run, s.Interval)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  rank %d: packet %3s -> busy-drop symptom: %v\n",
-			i+1, s.Label(sentomist.LabelSeqOnly), sentomist.CaseIISymptom(run, s.Interval))
+			i+1, s.Label(sentomist.LabelSeqOnly), sym)
 	}
 
 	top := ranking.Samples[0]

@@ -16,6 +16,7 @@ package apps
 
 import (
 	"fmt"
+	"sync"
 
 	"sentomist/internal/asm"
 	"sentomist/internal/dev"
@@ -70,6 +71,11 @@ type Run struct {
 	// Stats holds the scheduler's per-run counters (rounds, jumps,
 	// parallel sections); see sim.Stats.
 	Stats sim.Stats
+
+	// firstPC memoizes FirstMarkerWithPC answers per (node, pc) for the
+	// hang oracles; see oracle.go.
+	firstPCMu sync.Mutex
+	firstPC   map[firstPCKey]int
 }
 
 // Program returns the binary node id runs.
@@ -133,12 +139,21 @@ type builder struct {
 	specDepth int
 }
 
+// RNG-split keys of the builder's derived streams. The network's stream is
+// split first (in newBuilder), each node's sensor stream on ADC attach;
+// SensorReadings replays the same order to reproduce a sensor's readings
+// without re-running the simulation.
+const (
+	netSplitKey    = 0xa11
+	sensorSplitKey = 0x5e45
+)
+
 func newBuilder(seed uint64) *builder {
 	rng := randx.New(seed)
 	return &builder{
 		seed: seed,
 		rng:  rng,
-		net:  medium.NewNetwork(rng.Split(0xa11)),
+		net:  medium.NewNetwork(rng.Split(netSplitKey)),
 		run: &Run{
 			Programs: make(map[int]*isa.Program),
 			Vars:     make(map[int]map[string]uint16),
@@ -193,8 +208,7 @@ func (b *builder) addNode(id int, prog *asm.Result, o nodeOpts) (*node.Node, err
 			dev.PortT1Ctrl, dev.PortT1PeriodLo, dev.PortT1PeriodHi, dev.PortT1Prescale))
 	}
 	if o.adc {
-		sensor := dev.NewWalkSensor(b.rng.Split(uint64(id)+0x5e45), 100, 3, 20, 220)
-		n.Attach(dev.NewADC(n, sensor))
+		n.Attach(dev.NewADC(n, nodeSensor(b.rng, id)))
 	}
 	if o.radio {
 		radio := dev.NewRadio(n)

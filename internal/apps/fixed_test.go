@@ -5,60 +5,22 @@ import (
 
 	"sentomist/internal/dev"
 	"sentomist/internal/lifecycle"
-	"sentomist/internal/randx"
 )
-
-// sensorStream reproduces the Case-I sensor's deterministic reading
-// sequence by replaying the builder's RNG-splitting order: the network
-// split happens in newBuilder, the sink has no ADC, and the sensor node's
-// sensor is split with its ID.
-func sensorStream(seed uint64, n int) []uint8 {
-	rng := randx.New(seed)
-	_ = rng.Split(0xa11) // the network's stream
-	s := dev.NewWalkSensor(rng.Split(uint64(OscSensorID)+0x5e45), 100, 3, 20, 220)
-	out := make([]uint8, n)
-	for i := range out {
-		out[i] = s.Sample(0)
-	}
-	return out
-}
-
-// alignedTriple reports whether payload equals readings[3k:3k+3] for some k.
-func alignedTriple(readings []uint8, payload []byte) bool {
-	if len(payload) != 3 {
-		return false
-	}
-	for k := 0; k+3 <= len(readings); k += 3 {
-		if readings[k] == payload[0] && readings[k+1] == payload[1] && readings[k+2] == payload[2] {
-			return true
-		}
-	}
-	return false
-}
 
 // TestCaseIDataIntegrity is the end-to-end proof of the Figure-2 bug and
 // its fix: the buggy sensor ships at least one packet whose contents are
 // NOT three consecutive readings (the pollution), while the fixed sensor
-// never does — under identical seeds and timing.
+// never does — under identical seeds and timing. The check itself is
+// PollutedDeliveries, the corpus's fixed-side ground truth for Case I.
 func TestCaseIDataIntegrity(t *testing.T) {
 	const seed = 1
-	readings := sensorStream(seed, 2000)
 
 	check := func(fixed bool) (bad, total int) {
 		run, err := RunOscilloscope(OscConfig{PeriodMS: 20, Seconds: 10, Seed: seed, Fixed: fixed})
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, d := range run.Net.Deliveries() {
-			if d.Dst != OscSinkID {
-				continue
-			}
-			total++
-			if !alignedTriple(readings, d.Payload) {
-				bad++
-			}
-		}
-		return bad, total
+		return PollutedDeliveries(run, seed)
 	}
 
 	buggyBad, buggyTotal := check(false)
@@ -170,7 +132,11 @@ func TestCaseIIIFixedHasNoHangSymptomIntervals(t *testing.T) {
 			if iv.IRQ != dev.IRQTimer0 {
 				continue
 			}
-			if intervalHasLabel(run, iv, "cst_skip") {
+			skipped, err := IntervalExecutedLabel(run, iv, "cst_skip")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skipped {
 				t.Errorf("node %d interval %d took the skip path in the fixed variant", id, iv.Seq)
 			}
 		}

@@ -1,0 +1,469 @@
+package apps
+
+// False-positive-ACK forwarder for the seeded-bug corpus (internal/bench),
+// after Splash bug report 4 (SNIPPETS Snippet 1): "local recovery can be
+// affected because of the well-known false-positive acknowledgments".
+//
+// A source streams data frames to a relay; the relay forwards each frame to
+// the sink and waits for the sink's application-level ACK before forwarding
+// the next (parking at most one frame meanwhile). The buggy relay's RX
+// handler assumes that any frame arriving while a forward is outstanding
+// must be its ACK and never checks the type byte — so a burst data frame
+// landing inside the ACK round-trip window is consumed as an ACK (the data
+// is lost) and the real ACK, arriving moments later with nothing awaited,
+// takes the ack_unexpected path: the trace-visible symptom. The fixed
+// relay checks the type byte first and parks data frames even while
+// awaiting.
+//
+// The ack_unexpected label is present in both variants (a genuine
+// duplicate ACK would take it) so the ground-truth oracle stays total over
+// fixed runs.
+
+import "strconv"
+
+// FP-ACK node IDs: a two-hop chain.
+const (
+	FPAckSinkID   = 0
+	FPAckRelayID  = 1
+	FPAckSourceID = 2
+)
+
+// itoa renders a decimal immediate for generated assembly.
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// Frame type bytes of the FP-ACK protocol.
+const (
+	fpackDataMagic = 0x11
+	fpackAckMagic  = 0xa5
+)
+
+// FPAckSourceSource is the traffic generator: jittered periodic data
+// frames plus a rare immediate burst from the send-done handler — the
+// short inter-arrival gap that lands inside the relay's ACK window.
+func FPAckSourceSource(seed, burstMask uint8) string {
+	return `
+.var lfsr
+.var seq
+.var sentcnt
+
+.vector 1, timer0_isr
+.vector 5, txdone_isr
+.entry boot
+
+boot:
+	ldi  r0, ` + itoa(int(seed)) + `            ; LFSR seed (never zero)
+	sts  lfsr, r0
+	; Data timer: 0x9c00 cycles = ~40 ms; /1, so ~80 ms between frames
+	; after the /2 divider below is folded into the jitter.
+	ldi  r0, 0x00
+	out  T0_LO, r0
+	ldi  r0, 0x9c
+	out  T0_HI, r0
+	ldi  r0, 1
+	out  T0_CTRL, r0
+	sei
+	osrun
+
+; Advance the Galois LFSR; result in r0.
+lfsr_step:
+	lds  r0, lfsr
+	shr  r0
+	brcc lfsr_store
+	xori r0, 0xb8
+lfsr_store:
+	sts  lfsr, r0
+	ret
+
+; Build and submit one data frame to the relay: [type, seq, 4 filler].
+do_send:
+	push r1
+	ldi  r0, 1              ; the relay
+	out  TX_DST, r0
+	ldi  r0, 0x11           ; data magic
+	out  TX_FIFO, r0
+	lds  r0, seq
+	inc  r0
+	sts  seq, r0
+	out  TX_FIFO, r0
+	ldi  r1, 4
+ds_pad:
+	out  TX_FIFO, r0
+	dec  r1
+	brne ds_pad
+	ldi  r0, CMD_SEND
+	out  TX_CMD, r0
+	in   r0, STATUS
+	andi r0, ST_REJ
+	brne ds_out
+	lds  r0, sentcnt
+	inc  r0
+	sts  sentcnt, r0
+ds_out:
+	pop  r1
+	ret
+
+timer0_isr:
+	push r0
+	push r1
+	call lfsr_step
+	andi r0, 0x1f           ; jittered re-arm: ~78-103 ms
+	addi r0, 0x98
+	out  T0_HI, r0
+	call do_send
+	pop  r1
+	pop  r0
+	reti
+
+; Send-done: occasionally ride a burst frame right behind the previous one.
+txdone_isr:
+	push r0
+	push r1
+	call lfsr_step
+	andi r0, ` + itoa(int(burstMask)) + `
+	brne td_out
+	call do_send
+td_out:
+	pop  r1
+	pop  r0
+	reti
+`
+}
+
+// FPAckRelaySource is the monitored node. Every ACK path receives the
+// acknowledged sequence number in r1: ack_accept closes the window,
+// ack_stale swallows a MAC-level duplicate of the last accepted ACK (the
+// link layer retries a data frame whose MAC ACK was lost, so the sink can
+// acknowledge the same frame twice — not a bug), and ack_unexpected is the
+// symptom: an ACK matching neither the awaited nor the last accepted
+// sequence acknowledges a frame this node never knowingly forwarded.
+func FPAckRelaySource(buggy bool) string {
+	dispatch := `
+	lds  r2, awaiting
+	cpi  r2, 0
+	breq bx_idle
+	in   r1, RX_FIFO        ; BUG: a forward is outstanding, so this frame
+	jmp  ack_accept         ; "must" be its ACK — the type byte is never
+	                        ; checked, and a data frame's sequence byte is
+	                        ; recorded as the acknowledged sequence
+bx_idle:
+	cpi  r1, 0xa5           ; ack magic?
+	brne bx_data
+	in   r1, RX_FIFO        ; acknowledged sequence number
+	lds  r2, lastack
+	cp   r1, r2
+	breq ack_stale          ; duplicate of the last accepted ACK
+	jmp  ack_unexpected
+bx_data:
+	jmp  rx_data
+`
+	if !buggy {
+		dispatch = `
+	cpi  r1, 0xa5           ; fixed: classify by type byte first
+	breq fx_ack
+	jmp  rx_data
+fx_ack:
+	in   r1, RX_FIFO        ; acknowledged sequence number
+	lds  r2, awaiting
+	cpi  r2, 0
+	breq fx_orphan
+	lds  r2, curseq
+	cp   r1, r2
+	breq ack_accept         ; the awaited ACK
+fx_orphan:
+	lds  r2, lastack
+	cp   r1, r2
+	breq ack_stale          ; duplicate of the last accepted ACK
+	jmp  ack_unexpected
+`
+	}
+	return `
+.var buf, 16
+.var buflen
+.var pbuf, 16
+.var pbuflen
+.var awaiting
+.var parked
+.var curseq
+.var lastack
+.var fwdcnt
+.var ackedcnt
+.var spuriouscnt
+.var stalecnt
+.var overflowcnt
+.var rejcnt
+.var retrycnt
+
+.vector 4, rx_isr
+.vector 5, txdone_isr
+.task 0, fwd_task
+.entry boot
+
+boot:
+	sei
+	osrun
+
+; Drain the remaining RX bytes.
+drain:
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq dr_out
+	in   r1, RX_FIFO
+	jmp  drain
+dr_out:
+	ret
+
+; Frame arrival. r1 holds the type byte for the dispatch below.
+rx_isr:
+	push r0
+	push r1
+	push r2
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq rx_out
+	in   r1, RX_FIFO        ; frame type byte
+` + dispatch + `
+; The outstanding forward is acknowledged (r1 = acknowledged sequence):
+; release the window and forward the parked frame, if any.
+ack_accept:
+	sts  lastack, r1
+	call drain
+	ldi  r2, 0
+	sts  awaiting, r2
+	lds  r2, ackedcnt
+	inc  r2
+	sts  ackedcnt, r2
+	lds  r2, parked
+	cpi  r2, 0
+	breq rx_out
+	ldi  r2, 0
+	sts  parked, r2
+	lds  r2, pbuflen
+	sts  buflen, r2
+	ldi  r2, 0
+ap_copy:
+	lds  r1, buflen
+	cp   r2, r1
+	breq ap_post
+	ldx  r1, pbuf, r2
+	stx  buf, r2, r1
+	inc  r2
+	jmp  ap_copy
+ap_post:
+	ldi  r2, 0
+	ldx  r1, buf, r2        ; sequence byte of the promoted frame
+	sts  curseq, r1
+	post 0
+	jmp  rx_out
+; A duplicate of the last accepted ACK: the link layer retried a data frame
+; whose MAC ACK was lost, so the sink acknowledged it twice. Harmless.
+ack_stale:
+	call drain
+	lds  r2, stalecnt
+	inc  r2
+	sts  stalecnt, r2
+	jmp  rx_out
+; An ACK acknowledging a frame this node never knowingly forwarded: the
+; earlier "ACK" that closed its window must have been a data frame taken
+; falsely.
+ack_unexpected:
+	call drain
+	lds  r2, spuriouscnt
+	inc  r2
+	sts  spuriouscnt, r2
+	jmp  rx_out
+; A data frame with no forward outstanding: buffer it and forward.
+rx_data:
+	lds  r2, awaiting
+	cpi  r2, 0
+	brne rx_park
+	in   r0, RX_LEN
+	sts  buflen, r0
+	ldi  r2, 0
+rd_copy:
+	lds  r1, buflen
+	cp   r2, r1
+	breq rd_post
+	in   r1, RX_FIFO
+	stx  buf, r2, r1
+	inc  r2
+	jmp  rd_copy
+rd_post:
+	ldi  r2, 0
+	ldx  r1, buf, r2        ; sequence byte of the buffered frame
+	sts  curseq, r1
+	post 0
+	jmp  rx_out
+; A data frame while a forward is outstanding: park it (one slot).
+rx_park:
+	lds  r2, parked
+	cpi  r2, 0
+	brne rx_full
+	ldi  r2, 1
+	sts  parked, r2
+	in   r0, RX_LEN
+	sts  pbuflen, r0
+	ldi  r2, 0
+rp_copy:
+	lds  r1, pbuflen
+	cp   r2, r1
+	breq rx_out
+	in   r1, RX_FIFO
+	stx  pbuf, r2, r1
+	inc  r2
+	jmp  rp_copy
+rx_full:
+	call drain              ; park slot occupied: the frame is lost
+	lds  r2, overflowcnt
+	inc  r2
+	sts  overflowcnt, r2
+rx_out:
+	pop  r2
+	pop  r1
+	pop  r0
+	reti
+
+; Forward the buffered frame to the sink and open the ACK window.
+fwd_task:
+	push r0
+	push r1
+	ldi  r0, 0              ; the sink
+	out  TX_DST, r0
+	ldi  r0, 0x11           ; data magic
+	out  TX_FIFO, r0
+	ldi  r1, 0
+ft_copy:
+	lds  r0, buflen
+	cp   r1, r0
+	breq ft_send
+	ldx  r0, buf, r1
+	out  TX_FIFO, r0
+	inc  r1
+	jmp  ft_copy
+ft_send:
+	ldi  r0, CMD_SEND
+	out  TX_CMD, r0
+	in   r0, STATUS
+	andi r0, ST_REJ
+	brne ft_rej
+	ldi  r0, 1
+	sts  awaiting, r0       ; ACK window opens
+	lds  r0, fwdcnt
+	inc  r0
+	sts  fwdcnt, r0
+	jmp  ft_out
+ft_rej:
+	lds  r0, rejcnt
+	inc  r0
+	sts  rejcnt, r0
+ft_out:
+	pop  r1
+	pop  r0
+	ret
+
+; Send-done: a NoAck completion means the forward never reached the sink —
+; resubmit the same frame (the window stays open) instead of waiting for an
+; application ACK that cannot come.
+txdone_isr:
+	push r0
+	in   r0, TX_STAT
+	cpi  r0, 0
+	breq tdr_out
+	lds  r0, retrycnt
+	inc  r0
+	sts  retrycnt, r0
+	post 0
+tdr_out:
+	pop  r0
+	reti
+`
+}
+
+// FPAckSinkSource is the sink: it acknowledges every delivered data frame,
+// deferring to send-done when the radio is mid-exchange and retrying ACKs
+// whose handshake exhausted its MAC retries.
+func FPAckSinkSource() string {
+	return `
+.var rxcnt
+.var ackseq
+.var ackpend
+
+.vector 4, rx_isr
+.vector 5, txdone_isr
+.task 0, ack_task
+.entry boot
+
+boot:
+	sei
+	osrun
+
+rx_isr:
+	push r0
+	push r1
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq kx_out
+	in   r1, RX_FIFO
+	cpi  r1, 0x11           ; data magic?
+	brne kx_drain
+	in   r1, RX_FIFO        ; sequence number
+	sts  ackseq, r1
+	lds  r1, rxcnt
+	inc  r1
+	sts  rxcnt, r1
+	post 0                  ; acknowledge
+kx_drain:
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq kx_out
+	in   r1, RX_FIFO
+	jmp  kx_drain
+kx_out:
+	pop  r1
+	pop  r0
+	reti
+
+; Acknowledge the last delivered frame: [ack magic, seq] to the relay. If
+; the previous ACK is still in its exchange, flag the new one pending; the
+; send-done handler re-posts it.
+ack_task:
+	push r0
+	in   r0, STATUS
+	andi r0, ST_BUSY
+	brne ak_defer
+	ldi  r0, 1              ; the relay
+	out  TX_DST, r0
+	ldi  r0, 0xa5           ; ack magic
+	out  TX_FIFO, r0
+	lds  r0, ackseq
+	out  TX_FIFO, r0
+	ldi  r0, CMD_SEND
+	out  TX_CMD, r0
+	jmp  ak_out
+ak_defer:
+	ldi  r0, 1
+	sts  ackpend, r0
+ak_out:
+	pop  r0
+	ret
+
+; Send-done: retry an ACK whose handshake exhausted its MAC retries, then
+; release any ACK deferred while this one was on the air.
+txdone_isr:
+	push r0
+	in   r0, TX_STAT
+	cpi  r0, 0
+	breq tds_pend
+	post 0
+	jmp  tds_out
+tds_pend:
+	lds  r0, ackpend
+	cpi  r0, 0
+	breq tds_out
+	ldi  r0, 0
+	sts  ackpend, r0
+	post 0
+tds_out:
+	pop  r0
+	reti
+`
+}

@@ -33,7 +33,11 @@ func TestCaseIIRobustAcrossSeeds(t *testing.T) {
 		}
 		symptomatic := 0
 		for _, s := range ranking.Samples {
-			if CaseIISymptom(run, s.Interval) {
+			sym, err := CaseIISymptom(run, s.Interval)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if sym {
 				symptomatic++
 			}
 		}
@@ -42,7 +46,11 @@ func TestCaseIIRobustAcrossSeeds(t *testing.T) {
 		}
 		runsWithDrops++
 		rank := ranking.RankOf(func(s core.Sample) bool {
-			return CaseIISymptom(run, s.Interval)
+			sym, err := CaseIISymptom(run, s.Interval)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return sym
 		})
 		if rank == 0 || rank > 5 {
 			t.Errorf("seed %d: first of %d drops at rank %d, outside the top-5 inspection budget",
@@ -76,7 +84,11 @@ func TestCaseIRobustAcrossSeeds(t *testing.T) {
 		}
 		symptomatic := 0
 		for _, s := range ranking.Samples {
-			if CaseISymptom(run, s.Interval) {
+			sym, err := CaseISymptom(run, s.Interval)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if sym {
 				symptomatic++
 			}
 		}
@@ -85,7 +97,11 @@ func TestCaseIRobustAcrossSeeds(t *testing.T) {
 		}
 		runsWithRaces++
 		for i := 0; i < symptomatic; i++ {
-			if !CaseISymptom(run, ranking.Samples[i].Interval) {
+			sym, err := CaseISymptom(run, ranking.Samples[i].Interval)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !sym {
 				t.Errorf("seed %d: rank %d not symptomatic though %d races exist",
 					seed, i+1, symptomatic)
 			}

@@ -1,0 +1,162 @@
+package apps
+
+// Shared-scratch clobber firmware for the seeded-bug corpus
+// (internal/bench), promoted from examples/customapp: a periodic digest
+// task stashes its working value in a scratch variable that the motion
+// interrupt handler also writes. Under random-interrupt fuzzing a motion
+// event occasionally lands inside the digest window, clobbers the stash,
+// and the digest takes its corruption-recovery path (dg_corrupted) — the
+// trace-visible symptom. The fixed handler keeps its own stash variable.
+//
+// ScratchAppMISource is the multi-IRQ variant: motion AND vibration events
+// from two independent fuzzed sources both race the digest window, doubling
+// the interference the miner must see through.
+//
+// The dg_corrupted label is present in both variants so the ground-truth
+// oracle stays total over fixed runs.
+
+// ScratchNodeID is the single fuzzed node of the scratch scenarios.
+const ScratchNodeID = 1
+
+// scratchCommon is the digest machinery shared by every variant.
+const scratchCommon = `
+.var evcount
+.var scratch
+.var mstash
+.var digests
+.var corruptions
+
+.vector 1, tick_isr
+.task 0, digest_task
+
+tick_isr:
+	post 0
+	reti
+
+; Digest the counter. The stash/verify pair is only correct if nothing
+; touches scratch in between.
+digest_task:
+	push r0
+	push r1
+	lds  r0, evcount
+	sts  scratch, r0        ; stash the value being digested
+	ldi  r1, 40             ; ... a long computation window ...
+dg_spin:
+	dec  r1
+	brne dg_spin
+	lds  r1, scratch        ; reload: must still be our stash
+	cp   r1, r0
+	brne dg_corrupted
+	lds  r0, digests
+	inc  r0
+	sts  digests, r0
+	jmp  dg_out
+dg_corrupted:
+	lds  r0, corruptions    ; recovery path: discard the digest
+	inc  r0
+	sts  corruptions, r0
+dg_out:
+	pop  r1
+	pop  r0
+	ret
+`
+
+// scratchBoot arms the digest timer (5000 cycles = 5 ms).
+const scratchBoot = `
+boot:
+	ldi  r0, 0x88
+	out  T0_LO, r0
+	ldi  r0, 0x13
+	out  T0_HI, r0
+	ldi  r0, 1
+	out  T0_CTRL, r0
+	sei
+	osrun
+`
+
+// ScratchAppSource is the single-interference variant: motion events from
+// one fuzzed IRQ.
+func ScratchAppSource(buggy bool) string {
+	motion := `
+; Motion events arrive from the fuzzer at random times.
+motion_isr:
+	push r0
+	lds  r0, evcount
+	inc  r0
+	sts  evcount, r0
+	sts  scratch, r0        ; BUG: clobbers the digest task's scratch
+	pop  r0
+	reti
+`
+	if !buggy {
+		motion = `
+; Motion events arrive from the fuzzer at random times.
+motion_isr:
+	push r0
+	lds  r0, evcount
+	inc  r0
+	sts  evcount, r0
+	sts  mstash, r0         ; fixed: the handler keeps its own stash
+	pop  r0
+	reti
+`
+	}
+	return `
+.vector 2, motion_isr
+.entry boot
+` + scratchBoot + scratchCommon + motion
+}
+
+// ScratchAppMISource is the multi-IRQ variant: motion and vibration events
+// from two independent fuzzed sources.
+func ScratchAppMISource(buggy bool) string {
+	handlers := `
+; Motion events arrive from the fuzzer at random times.
+motion_isr:
+	push r0
+	lds  r0, evcount
+	inc  r0
+	sts  evcount, r0
+	sts  scratch, r0        ; BUG: clobbers the digest task's scratch
+	pop  r0
+	reti
+
+; Vibration events arrive from a second, independent fuzzed source.
+vibration_isr:
+	push r0
+	lds  r0, evcount
+	inc  r0
+	sts  evcount, r0
+	sts  scratch, r0        ; BUG: the second writer of the same scratch
+	pop  r0
+	reti
+`
+	if !buggy {
+		handlers = `
+; Motion events arrive from the fuzzer at random times.
+motion_isr:
+	push r0
+	lds  r0, evcount
+	inc  r0
+	sts  evcount, r0
+	sts  mstash, r0         ; fixed: the handler keeps its own stash
+	pop  r0
+	reti
+
+; Vibration events arrive from a second, independent fuzzed source.
+vibration_isr:
+	push r0
+	lds  r0, evcount
+	inc  r0
+	sts  evcount, r0
+	sts  mstash, r0         ; fixed: handlers keep their own stash
+	pop  r0
+	reti
+`
+	}
+	return `
+.vector 2, motion_isr
+.vector 3, vibration_isr
+.entry boot
+` + scratchBoot + scratchCommon + handlers
+}

@@ -1,0 +1,443 @@
+package apps
+
+// Splash-style dissemination firmware for the seeded-bug corpus
+// (internal/bench). A root starts a dissemination round every ~300 ms by
+// broadcasting a round packet; every other node rebroadcasts the first copy
+// of each round one hop further (a small flood) and feeds a local recovery
+// timer that must fire only when rounds stop arriving. The root also
+// broadcasts periodic control beacons on a second timer, so the two
+// protocols contend for the radio exactly like Case III's heartbeat.
+//
+// The family seeds two of the real Splash bug reports (SNIPPETS Snippet 1):
+//
+//   - splash-lrt (SplashLeafSource): the recovery-timer countdown is a
+//     read-modify-write in the tick task with bookkeeping between the read
+//     and the write; the RX handler's reset of the same counter can land in
+//     that window and be overwritten — a lost update that makes the timer
+//     "timeout at arbitrary time" (a spurious local recovery while
+//     dissemination is alive). The fix closes the window with cli/sei.
+//
+//   - splash-root-hang (SplashRootSource): the root's round-start send does
+//     not handle the MAC rejecting the submission while a beacon is mid-air.
+//     No send-done ever comes for a rejected submission, so the
+//     dissemination busy flag is never cleared and the root "hangs after
+//     submitting the first packet of the round" — every later round is
+//     silently skipped. The fix releases the flag on the rejection path.
+//
+// Symptom labels (lrt_fire, rh_fail, rh_skip) are present in both variants
+// so the ground-truth oracles stay total over fixed runs.
+
+// Splash node IDs: a two-level flood tree.
+const (
+	SplashRootID = 0
+)
+
+// SplashLeaves lists the non-root nodes (relays and leaves of the flood).
+var SplashLeaves = []int{1, 2, 3, 4}
+
+// splashRoundMagic tags round packets; beacons use splashBeaconMagic.
+const (
+	splashRoundMagic  = 0x52
+	splashBeaconMagic = 0x4e
+)
+
+// SplashRootSource is the dissemination root. The buggy variant leaves the
+// dissemination busy flag set when the round-start submission is rejected.
+// beacons arms the control-beacon timer; the splash-root-hang scenario needs
+// the beacon/round contention (it is what provokes the rejection), while the
+// splash-lrt scenario runs a quiet root so dissemination gaps come only from
+// the seeded leaf bug.
+func SplashRootSource(buggy, beacons bool) string {
+	armBeacons := ""
+	if beacons {
+		armBeacons = `
+	ldi  r0, 1
+	out  T1_CTRL, r0
+`
+	}
+	failTail := `
+; Rejected round start: the beacon was mid-air. Record the failure and roll
+; the round number back. BUG: the dissemination busy flag is not released,
+; and no send-done will ever come for a rejected submission — the root is
+; wedged from here on.
+rh_fail:
+	lds  r0, failcnt
+	inc  r0
+	sts  failcnt, r0
+	lds  r0, roundseq
+	dec  r0
+	sts  roundseq, r0
+	ret
+`
+	if !buggy {
+		failTail = `
+; Rejected round start: record the failure, roll the round number back, and
+; release the busy flag so the next round timer retries (the fix).
+rh_fail:
+	lds  r0, failcnt
+	inc  r0
+	sts  failcnt, r0
+	lds  r0, roundseq
+	dec  r0
+	sts  roundseq, r0
+	ldi  r0, 0
+	sts  dissBusy, r0
+	ret
+`
+	}
+	return `
+.var lfsr
+.var dissBusy
+.var cursend                ; 1 = round packet in flight, 2 = beacon
+.var roundseq
+.var sentcnt
+.var failcnt
+.var skipcnt
+.var beaconcnt
+
+.vector 1, round_isr
+.vector 2, beacon_isr
+.vector 4, rx_isr
+.vector 5, txdone_isr
+.task 0, round_task
+.task 1, beacon_task
+.entry boot
+
+boot:
+	; Round timer: 0x493e << 4 cycles = ~300 ms.
+	ldi  r0, 0x3e
+	out  T0_LO, r0
+	ldi  r0, 0x49
+	out  T0_HI, r0
+	ldi  r0, 4
+	out  T0_PRE, r0
+	; Beacon timer: 0x1388 << 4 cycles = 80 ms (armed only when the
+	; scenario wants beacon/round contention).
+	ldi  r0, 0x88
+	out  T1_LO, r0
+	ldi  r0, 0x13
+	out  T1_HI, r0
+	ldi  r0, 4
+	out  T1_PRE, r0
+	ldi  r0, 1
+	out  T0_CTRL, r0
+` + armBeacons + `	sei
+	osrun
+
+; Advance the Galois LFSR; result in r0.
+lfsr_step:
+	lds  r0, lfsr
+	shr  r0
+	brcc lfsr_store
+	xori r0, 0xb8
+lfsr_store:
+	sts  lfsr, r0
+	ret
+
+; Round timer: start the next dissemination round, with a little jitter on
+; the re-arm so rounds drift against the beacon schedule.
+round_isr:
+	push r0
+	call lfsr_step
+	andi r0, 7
+	addi r0, 0x44
+	out  T0_HI, r0
+	post 0
+	pop  r0
+	reti
+
+beacon_isr:
+	push r0
+	call lfsr_step
+	andi r0, 3
+	addi r0, 0x12
+	out  T1_HI, r0
+	post 1
+	pop  r0
+	reti
+
+; Start a round: broadcast the round packet. The dissemination path owns
+; the busy flag until send-done confirms the packet left.
+round_task:
+	push r0
+	push r1
+	lds  r0, dissBusy
+	cpi  r0, 0
+	brne rh_skip
+	ldi  r0, 1
+	sts  dissBusy, r0
+	ldi  r0, BCAST
+	out  TX_DST, r0
+	ldi  r0, 0x52           ; round magic
+	out  TX_FIFO, r0
+	lds  r0, roundseq
+	inc  r0
+	sts  roundseq, r0
+	out  TX_FIFO, r0
+	ldi  r0, CMD_SEND
+	out  TX_CMD, r0
+	in   r0, STATUS
+	andi r0, ST_REJ
+	breq rh_ok
+	call rh_fail
+	jmp  rh_out
+rh_ok:
+	ldi  r0, 1
+	sts  cursend, r0        ; accepted: send-done will clear dissBusy
+	lds  r0, sentcnt
+	inc  r0
+	sts  sentcnt, r0
+	jmp  rh_out
+rh_skip:
+	lds  r0, skipcnt        ; previous round still "in flight"
+	inc  r0
+	sts  skipcnt, r0
+rh_out:
+	pop  r1
+	pop  r0
+	ret
+` + failTail + `
+; Control beacon: broadcast liveness; rejection is harmless.
+beacon_task:
+	push r0
+	in   r0, STATUS
+	andi r0, ST_BUSY
+	brne bc_out
+	ldi  r0, BCAST
+	out  TX_DST, r0
+	ldi  r0, 0x4e           ; beacon magic
+	out  TX_FIFO, r0
+	lds  r0, roundseq
+	out  TX_FIFO, r0
+	out  TX_FIFO, r0
+	ldi  r0, CMD_SEND
+	out  TX_CMD, r0
+	ldi  r0, 2
+	sts  cursend, r0
+	lds  r0, beaconcnt
+	inc  r0
+	sts  beaconcnt, r0
+bc_out:
+	pop  r0
+	ret
+
+; Rebroadcast copies from the flood reach the root too; just drain them.
+rx_isr:
+	push r0
+	push r1
+rr_drain:
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq rr_out
+	in   r1, RX_FIFO
+	jmp  rr_drain
+rr_out:
+	pop  r1
+	pop  r0
+	reti
+
+; Send-done: release the dissemination busy flag when the finished send was
+; the round packet's.
+txdone_isr:
+	push r0
+	lds  r0, cursend
+	cpi  r0, 1
+	brne td_clear
+	ldi  r0, 0
+	sts  dissBusy, r0
+td_clear:
+	ldi  r0, 0
+	sts  cursend, r0
+	pop  r0
+	reti
+`
+}
+
+// SplashLeafSource is every non-root node: rebroadcast each round once and
+// keep a local recovery timer fed by round arrivals. The buggy variant's
+// countdown loses concurrent resets.
+func SplashLeafSource(buggy bool) string {
+	// The countdown reads the counter, digests link statistics (the
+	// window), then decrements and writes back. The RX handler's reset
+	// can land inside the window and be overwritten.
+	countdown := `
+	lds  r0, lrtleft        ; read the countdown
+	ldi  r2, 30             ; link-statistics digest between read and write
+tk_outer:
+	ldi  r1, 250
+tk_spin:
+	dec  r1
+	brne tk_spin
+	dec  r2
+	brne tk_outer
+	cpi  r0, 0
+	breq tk_zero
+	dec  r0
+	sts  lrtleft, r0        ; write back: a reset landing above is lost
+tk_zero:
+`
+	if !buggy {
+		countdown = `
+	ldi  r2, 30             ; link-statistics digest, outside the critical
+tk_outer:                       ; section
+	ldi  r1, 250
+tk_spin:
+	dec  r1
+	brne tk_spin
+	dec  r2
+	brne tk_outer
+	cli                     ; fixed: the countdown update is atomic
+	lds  r0, lrtleft
+	cpi  r0, 0
+	breq tk_zero
+	dec  r0
+	sts  lrtleft, r0
+tk_zero:
+	sei
+`
+	}
+	return `
+.var lfsr
+.var lrtleft
+.var roundseen
+.var tickcnt
+.var lrtfires
+.var rxrounds
+
+.vector 1, tick_isr
+.vector 4, rx_isr
+.vector 5, txdone_isr
+.task 0, tick_task
+.task 1, reb_task
+.entry boot
+
+boot:
+	; Recovery tick: 0x249f << 4 cycles = ~150 ms.
+	ldi  r0, 0x9f
+	out  T0_LO, r0
+	ldi  r0, 0x24
+	out  T0_HI, r0
+	ldi  r0, 4
+	out  T0_PRE, r0
+	ldi  r0, 1
+	out  T0_CTRL, r0
+	ldi  r0, 4              ; recovery timeout: 4 ticks (~600 ms)
+	sts  lrtleft, r0
+	sei
+	osrun
+
+; Advance the Galois LFSR; result in r0.
+lfsr_step:
+	lds  r0, lfsr
+	shr  r0
+	brcc lfsr_store
+	xori r0, 0xb8
+lfsr_store:
+	sts  lfsr, r0
+	ret
+
+; Recovery tick: jittered re-arm (oscillator skew) and the countdown task.
+tick_isr:
+	push r0
+	call lfsr_step
+	andi r0, 7
+	addi r0, 0x22
+	out  T0_HI, r0
+	post 0
+	pop  r0
+	reti
+
+; Count the recovery timer down. Round arrivals reset it from the RX
+; handler; if no round arrives for the full timeout, local recovery starts.
+tick_task:
+	push r0
+	push r1
+	push r2
+	lds  r0, tickcnt
+	inc  r0
+	sts  tickcnt, r0
+` + countdown + `
+	cpi  r0, 0
+	brne tk_out
+lrt_fire:
+	lds  r0, lrtfires       ; local recovery starts — spurious whenever
+	inc  r0                 ; rounds are still flowing
+	sts  lrtfires, r0
+tk_rearm:
+	ldi  r0, 4
+	sts  lrtleft, r0
+tk_out:
+	pop  r2
+	pop  r1
+	pop  r0
+	ret
+
+; Frame arrival: the first copy of a new round feeds the recovery timer and
+; is rebroadcast one hop further; duplicates and beacons are drained.
+rx_isr:
+	push r0
+	push r1
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq rx_out
+	in   r1, RX_FIFO
+	cpi  r1, 0x52           ; round magic?
+	brne rx_drain
+	in   r1, RX_FIFO
+	push r2
+	lds  r2, roundseen
+	cp   r1, r2
+	breq rx_dup
+	sts  roundseen, r1
+	ldi  r2, 4              ; fresh round: reset the recovery countdown
+	sts  lrtleft, r2
+	lds  r2, rxrounds
+	inc  r2
+	sts  rxrounds, r2
+	post 1                  ; rebroadcast once
+rx_dup:
+	pop  r2
+	jmp  rx_out
+rx_drain:
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq rx_out
+	in   r1, RX_FIFO
+	jmp  rx_drain
+rx_out:
+	pop  r1
+	pop  r0
+	reti
+
+; Rebroadcast the current round one hop further (skip when the radio is
+; already busy; the flood is redundant).
+reb_task:
+	push r0
+	in   r0, STATUS
+	andi r0, ST_BUSY
+	brne rb_out
+	ldi  r0, BCAST
+	out  TX_DST, r0
+	ldi  r0, 0x52
+	out  TX_FIFO, r0
+	lds  r0, roundseen
+	out  TX_FIFO, r0
+	ldi  r0, CMD_SEND
+	out  TX_CMD, r0
+rb_out:
+	pop  r0
+	ret
+
+; Send-done: a rebroadcast that lost carrier sense too many times reports a
+; failed completion — retry it, or downstream nodes miss the round.
+txdone_isr:
+	push r0
+	in   r0, TX_STAT
+	cpi  r0, 0
+	breq rt_out
+	post 1
+rt_out:
+	pop  r0
+	reti
+`
+}

@@ -1,0 +1,394 @@
+package apps
+
+// CTP-style tree-inconsistency firmware for the seeded-bug corpus
+// (internal/bench), after Splash bug report 3 (SNIPPETS Snippet 1): "a node
+// can be assigned with its hop count as X+1 as it would have inferred its
+// parent's hopcount as X while actually its parent's hopcount can be
+// different" — the classic torn read of a (parent, hopcount) pair.
+//
+// The monitored node hears routing beacons from two candidate parents, each
+// advertising (hop, id); the RX handler stores the pair with both stores
+// inside the handler, so the pair itself is always updated atomically. The
+// route-maintenance task then reads the pair back — parent first, advertised
+// hop second, with link-estimate bookkeeping in between. In the buggy
+// variant a beacon landing between the two reads pairs one parent's id with
+// the other's hop count; the task's own consistency check (the scenario
+// advertises hop == parent id, so a consistent snapshot always matches)
+// catches the mismatch and takes the tr_incons route-repair path — the
+// trace-visible symptom. The fix closes the window with cli/sei.
+//
+// The tr_incons label is present in both variants so the ground-truth
+// oracle stays total over fixed runs.
+
+// Tree-route node IDs: a root sink, two candidate parents, one monitored
+// leaf.
+const (
+	TreeRootID    = 0
+	TreeParentAID = 1
+	TreeParentBID = 2
+	TreeLeafID    = 3
+)
+
+// treeBeaconMagic tags routing beacons; data frames use 0x11.
+const treeBeaconMagic = 0x42
+
+// TreeRouteLeafSource is the monitored node: it validates its route on
+// every maintenance tick and reports a reading toward its parent every
+// fourth tick.
+func TreeRouteLeafSource(buggy bool) string {
+	pairRead := `
+	lds  r1, parent         ; route snapshot, read 1
+	ldi  r0, 3              ; link-estimate bookkeeping between the reads
+rt_est:
+	ldi  r2, 250
+rt_spin:
+	dec  r2
+	brne rt_spin
+	dec  r0
+	brne rt_est
+	lds  r2, phop           ; route snapshot, read 2 — a beacon landing
+	                        ; between the reads tears the pair
+`
+	if !buggy {
+		pairRead = `
+	ldi  r0, 3              ; link-estimate bookkeeping, outside the
+rt_est:                         ; critical section
+	ldi  r2, 250
+rt_spin:
+	dec  r2
+	brne rt_spin
+	dec  r0
+	brne rt_est
+	cli                     ; fixed: the pair is read atomically
+	lds  r1, parent
+	lds  r2, phop
+	sei
+`
+	}
+	return `
+.var parent
+.var phop
+.var myhop
+.var lfsr
+.var tick
+.var inconscnt
+.var sentcnt
+.var rejcnt
+
+.vector 1, route_isr
+.vector 4, rx_isr
+.vector 5, txdone_isr
+.task 0, route_task
+.entry boot
+
+boot:
+	ldi  r0, 1              ; initial route: parent A at hop 1
+	sts  parent, r0
+	sts  phop, r0
+	; Route-maintenance tick: 0x15f9 << 3 cycles = ~45 ms.
+	ldi  r0, 0xf9
+	out  T0_LO, r0
+	ldi  r0, 0x15
+	out  T0_HI, r0
+	ldi  r0, 3
+	out  T0_PRE, r0
+	ldi  r0, 1
+	out  T0_CTRL, r0
+	sei
+	osrun
+
+; Advance the Galois LFSR; result in r0.
+lfsr_step:
+	lds  r0, lfsr
+	shr  r0
+	brcc lfsr_store
+	xori r0, 0xb8
+lfsr_store:
+	sts  lfsr, r0
+	ret
+
+route_isr:
+	push r0
+	call lfsr_step
+	andi r0, 3
+	addi r0, 0x14
+	out  T0_HI, r0
+	post 0
+	pop  r0
+	reti
+
+; Routing beacon arrival: adopt the advertised route. Both stores happen
+; inside the handler, so the stored pair is always consistent.
+rx_isr:
+	push r0
+	push r1
+	in   r0, RX_LEN
+	cpi  r0, 3
+	brne rx_drain
+	in   r1, RX_FIFO
+	cpi  r1, 0x42           ; beacon magic?
+	brne rx_drain
+	in   r1, RX_FIFO        ; advertised hop
+	sts  phop, r1
+	in   r1, RX_FIFO        ; beacon source = new parent
+	sts  parent, r1
+	jmp  rx_out
+rx_drain:
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq rx_out
+	in   r1, RX_FIFO
+	jmp  rx_drain
+rx_out:
+	pop  r1
+	pop  r0
+	reti
+
+; Route maintenance: validate the route snapshot, adopt hop+1, and report a
+; reading toward the parent every fourth tick.
+route_task:
+	push r0
+	push r1
+	push r2
+` + pairRead + `
+	cp   r1, r2             ; the scenario advertises hop == parent id, so
+	brne tr_incons          ; a consistent snapshot always matches
+	inc  r2
+	sts  myhop, r2
+	lds  r0, tick
+	inc  r0
+	sts  tick, r0
+	andi r0, 3
+	brne rt_out
+	in   r0, STATUS
+	andi r0, ST_BUSY
+	brne rt_out             ; radio busy: skip this reading
+	out  TX_DST, r1
+	ldi  r0, 0x11           ; data magic
+	out  TX_FIFO, r0
+	ldi  r0, 3              ; origin: this node
+	out  TX_FIFO, r0
+	lds  r0, myhop
+	out  TX_FIFO, r0
+	call lfsr_step
+	out  TX_FIFO, r0        ; the reading
+	ldi  r0, CMD_SEND
+	out  TX_CMD, r0
+	in   r0, STATUS
+	andi r0, ST_REJ
+	breq rt_sent
+	lds  r0, rejcnt
+	inc  r0
+	sts  rejcnt, r0
+	jmp  rt_out
+rt_sent:
+	lds  r0, sentcnt
+	inc  r0
+	sts  sentcnt, r0
+	jmp  rt_out
+tr_incons:
+	lds  r0, inconscnt      ; tree inconsistency detected: drop the
+	inc  r0                 ; reading and repair the route
+	sts  inconscnt, r0
+	lds  r0, phop
+	sts  parent, r0         ; re-adopt a consistent pair
+rt_out:
+	pop  r2
+	pop  r1
+	pop  r0
+	ret
+
+txdone_isr:
+	reti
+`
+}
+
+// TreeRouteParentSource is a candidate parent: it advertises (hop, id)
+// beacons on a jittered timer and forwards the leaf's readings to the
+// root. Per-node identity comes from the RAM configuration block (bid,
+// bhop) so both parents share one binary.
+func TreeRouteParentSource() string {
+	return `
+.var bid
+.var bhop
+.var lfsr
+.var beacons
+.var fwdbuf, 8
+.var fwdlen
+.var fwddrop
+
+.vector 1, beat_isr
+.vector 4, rx_isr
+.vector 5, txdone_isr
+.task 0, beat_task
+.task 1, fwd_task
+.entry boot
+
+boot:
+	; Beacon timer: 0x2bf2 << 3 cycles = ~90 ms.
+	ldi  r0, 0xf2
+	out  T0_LO, r0
+	ldi  r0, 0x2b
+	out  T0_HI, r0
+	ldi  r0, 3
+	out  T0_PRE, r0
+	ldi  r0, 1
+	out  T0_CTRL, r0
+	sei
+	osrun
+
+; Advance the Galois LFSR; result in r0.
+lfsr_step:
+	lds  r0, lfsr
+	shr  r0
+	brcc lfsr_store
+	xori r0, 0xb8
+lfsr_store:
+	sts  lfsr, r0
+	ret
+
+beat_isr:
+	push r0
+	call lfsr_step
+	andi r0, 7
+	addi r0, 0x28
+	out  T0_HI, r0
+	post 0
+	pop  r0
+	reti
+
+; Advertise the route: broadcast [magic, hop, id].
+beat_task:
+	push r0
+	in   r0, STATUS
+	andi r0, ST_BUSY
+	brne bt_out
+	ldi  r0, BCAST
+	out  TX_DST, r0
+	ldi  r0, 0x42
+	out  TX_FIFO, r0
+	lds  r0, bhop
+	out  TX_FIFO, r0
+	lds  r0, bid
+	out  TX_FIFO, r0
+	ldi  r0, CMD_SEND
+	out  TX_CMD, r0
+	lds  r0, beacons
+	inc  r0
+	sts  beacons, r0
+bt_out:
+	pop  r0
+	ret
+
+; Leaf readings arrive as unicast data frames: copy and forward to the
+; root one hop further.
+rx_isr:
+	push r0
+	push r1
+	push r2
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq px_out
+	in   r1, RX_FIFO
+	cpi  r1, 0x11           ; data magic?
+	brne px_drain
+	in   r0, RX_LEN
+	sts  fwdlen, r0
+	ldi  r2, 0
+px_copy:
+	lds  r1, fwdlen
+	cp   r2, r1
+	breq px_fwd
+	in   r1, RX_FIFO
+	stx  fwdbuf, r2, r1
+	inc  r2
+	jmp  px_copy
+px_fwd:
+	post 1
+	jmp  px_out
+px_drain:
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq px_out
+	in   r1, RX_FIFO
+	jmp  px_drain
+px_out:
+	pop  r2
+	pop  r1
+	pop  r0
+	reti
+
+; Forward the buffered reading to the root.
+fwd_task:
+	push r0
+	push r1
+	in   r0, STATUS
+	andi r0, ST_BUSY
+	brne pf_drop
+	ldi  r0, 0              ; the root
+	out  TX_DST, r0
+	ldi  r0, 0x11
+	out  TX_FIFO, r0
+	ldi  r1, 0
+pf_copy:
+	lds  r0, fwdlen
+	cp   r1, r0
+	breq pf_send
+	ldx  r0, fwdbuf, r1
+	out  TX_FIFO, r0
+	inc  r1
+	jmp  pf_copy
+pf_send:
+	ldi  r0, CMD_SEND
+	out  TX_CMD, r0
+	jmp  pf_out
+pf_drop:
+	lds  r0, fwddrop        ; radio busy: the reading is lost (no queue)
+	inc  r0
+	sts  fwddrop, r0
+pf_out:
+	pop  r1
+	pop  r0
+	ret
+
+txdone_isr:
+	reti
+`
+}
+
+// TreeRouteSinkSource is the root: it counts delivered readings.
+func TreeRouteSinkSource() string {
+	return `
+.var rxcnt
+
+.vector 4, rx_isr
+.entry boot
+
+boot:
+	sei
+	osrun
+
+rx_isr:
+	push r0
+	push r1
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq sx_out
+	in   r1, RX_FIFO
+	cpi  r1, 0x11
+	brne sx_drain
+	lds  r1, rxcnt
+	inc  r1
+	sts  rxcnt, r1
+sx_drain:
+	in   r0, RX_LEN
+	cpi  r0, 0
+	breq sx_out
+	in   r1, RX_FIFO
+	jmp  sx_drain
+sx_out:
+	pop  r1
+	pop  r0
+	reti
+`
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The checked-in baseline (BENCH_QUALITY.json at the repo root) is the
+// regression gate: every metric in it is deterministic — seeded runs,
+// byte-identical traces, a deterministic mining pipeline, floats rounded
+// before marshaling — so the comparison is exact equality, not tolerance.
+// Any difference is either a real ranking-quality change (regenerate the
+// baseline deliberately, with the diff in the commit) or a regression.
+
+// WriteBaseline marshals the report to path, indented, trailing newline.
+func WriteBaseline(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal baseline: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a report written by WriteBaseline.
+func LoadBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read baseline: %w", err)
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("bench: parse baseline %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Compare diffs a fresh report against the baseline and returns one
+// human-readable line per difference (empty means identical). The diff is
+// loud on purpose: a CI failure must say which entry moved and how, not
+// just that two JSON blobs differ.
+func Compare(got, want *Report) []string {
+	var diffs []string
+	if !intsEqual(got.PrecisionKs, want.PrecisionKs) {
+		diffs = append(diffs, fmt.Sprintf("precision depths: measured %v, baseline %v", got.PrecisionKs, want.PrecisionKs))
+	}
+	wantEntries := map[string]Result{}
+	for _, r := range want.Entries {
+		wantEntries[r.Name] = r
+	}
+	gotNames := map[string]bool{}
+	for _, g := range got.Entries {
+		gotNames[g.Name] = true
+		w, ok := wantEntries[g.Name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("entry %s: not in baseline (regenerate it to admit the new entry)", g.Name))
+			continue
+		}
+		diffs = append(diffs, diffResult(g, w)...)
+	}
+	for _, w := range want.Entries {
+		if !gotNames[w.Name] {
+			diffs = append(diffs, fmt.Sprintf("entry %s: in baseline but missing from the catalog", w.Name))
+		}
+	}
+	wantClasses := map[string]ClassResult{}
+	for _, c := range want.Classes {
+		wantClasses[c.Class] = c
+	}
+	gotClasses := map[string]bool{}
+	for _, g := range got.Classes {
+		gotClasses[g.Class] = true
+		w, ok := wantClasses[g.Class]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("class %s: not in baseline", g.Class))
+			continue
+		}
+		if g.Entries != w.Entries {
+			diffs = append(diffs, fmt.Sprintf("class %s: %d entries, baseline %d", g.Class, g.Entries, w.Entries))
+		}
+		if g.MRR != w.MRR {
+			diffs = append(diffs, fmt.Sprintf("class %s: MRR %.6f, baseline %.6f", g.Class, g.MRR, w.MRR))
+		}
+		if !floatsEqual(g.PrecisionAt, w.PrecisionAt) {
+			diffs = append(diffs, fmt.Sprintf("class %s: precision@k %v, baseline %v", g.Class, g.PrecisionAt, w.PrecisionAt))
+		}
+	}
+	for _, w := range want.Classes {
+		if !gotClasses[w.Class] {
+			diffs = append(diffs, fmt.Sprintf("class %s: in baseline but missing from the report", w.Class))
+		}
+	}
+	return diffs
+}
+
+func diffResult(g, w Result) []string {
+	var diffs []string
+	line := func(field string, got, want any) {
+		diffs = append(diffs, fmt.Sprintf("entry %s: %s = %v, baseline %v", g.Name, field, got, want))
+	}
+	if g.Class != w.Class {
+		line("class", g.Class, w.Class)
+	}
+	if g.Samples != w.Samples {
+		line("samples", g.Samples, w.Samples)
+	}
+	if g.Symptomatic != w.Symptomatic {
+		line("symptomatic", g.Symptomatic, w.Symptomatic)
+	}
+	if g.FirstRank != w.FirstRank {
+		line("first_rank", g.FirstRank, w.FirstRank)
+	}
+	if g.ReciprocalRank != w.ReciprocalRank {
+		line("reciprocal_rank", g.ReciprocalRank, w.ReciprocalRank)
+	}
+	if g.FixedChecked != w.FixedChecked {
+		line("fixed_checked", g.FixedChecked, w.FixedChecked)
+	}
+	if !floatsEqual(g.PrecisionAt, w.PrecisionAt) {
+		line("precision_at", g.PrecisionAt, w.PrecisionAt)
+	}
+	return diffs
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -12,6 +12,7 @@ import (
 
 	"sentomist/internal/apps"
 	"sentomist/internal/baseline"
+	"sentomist/internal/bench"
 	"sentomist/internal/core"
 	"sentomist/internal/dev"
 	"sentomist/internal/lifecycle"
@@ -20,11 +21,13 @@ import (
 )
 
 // Default seeds of the canonical runs (chosen once; every result in
-// EXPERIMENTS.md uses them).
+// EXPERIMENTS.md uses them). The values live with the Sentomist-bench
+// corpus — its legacy entries replay exactly these runs — and are
+// re-exported here so the two harnesses cannot drift.
 const (
-	CaseISeedBase = 100
-	CaseIISeed    = 7
-	CaseIIISeed   = 20
+	CaseISeedBase = bench.CaseISeedBase
+	CaseIISeed    = bench.CaseIISeed
+	CaseIIISeed   = bench.CaseIIISeed
 )
 
 // NodeWorkers is the emulator-side parallelism every experiment's record
@@ -64,8 +67,8 @@ type CaseResult struct {
 }
 
 // CaseIPeriods are the sampling periods (ms) of the five pooled Case-I
-// testing runs.
-var CaseIPeriods = []int{20, 40, 60, 80, 100}
+// testing runs (canonical copy in internal/bench, like the seeds).
+var CaseIPeriods = bench.CaseIPeriods
 
 // CaseI reproduces Figure 5(a): five pooled runs, D = 20..100 ms. The five
 // simulations are independent (each derives its randomness from its own
@@ -101,10 +104,10 @@ func CaseI(seedBase uint64) (*CaseResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	oracle := func(s core.Sample) bool {
+	oracle := func(s core.Sample) (bool, error) {
 		return apps.CaseISymptom(runs[s.Run-1], s.Interval)
 	}
-	return summarize("Figure 5(a): Case I — data pollution", ranking, oracle, nil), nil
+	return summarize("Figure 5(a): Case I — data pollution", ranking, oracle, nil)
 }
 
 // CaseII reproduces Figure 5(b): one 20-second forwarding run.
@@ -124,8 +127,8 @@ func CaseII(seed uint64) (*CaseResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	oracle := func(s core.Sample) bool { return apps.CaseIISymptom(run, s.Interval) }
-	return summarize("Figure 5(b): Case II — packet loss", ranking, oracle, nil), nil
+	oracle := func(s core.Sample) (bool, error) { return apps.CaseIISymptom(run, s.Interval) }
+	return summarize("Figure 5(b): Case II — packet loss", ranking, oracle, nil)
 }
 
 // CaseIII reproduces Figure 5(c): one 15-second nine-node run.
@@ -145,32 +148,70 @@ func CaseIII(seed uint64) (*CaseResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	oracle := func(s core.Sample) bool { return apps.CaseIIISymptom(run, s.Interval) }
-	trigger := func(s core.Sample) bool { return apps.CaseIIITrigger(run, s.Interval) }
-	return summarize("Figure 5(c): Case III — unhandled failure", ranking, oracle, trigger), nil
+	oracle := func(s core.Sample) (bool, error) { return apps.CaseIIISymptom(run, s.Interval) }
+	trigger := func(s core.Sample) (bool, error) { return apps.CaseIIITrigger(run, s.Interval) }
+	return summarize("Figure 5(c): Case III — unhandled failure", ranking, oracle, trigger)
 }
 
-func summarize(name string, ranking *core.Ranking, oracle, trigger func(core.Sample) bool) *CaseResult {
+// oraclePred adapts an error-returning ground-truth oracle to the
+// bool-predicate shape core.Ranking wants, capturing the first error for
+// the caller to surface: a broken oracle (typo'd label, missing node) must
+// fail the experiment, not read as "no symptom anywhere".
+type oraclePred struct {
+	fn  func(core.Sample) (bool, error)
+	err error
+}
+
+func (o *oraclePred) pred(s core.Sample) bool {
+	if o.err != nil {
+		return false
+	}
+	ok, err := o.fn(s)
+	if err != nil {
+		o.err = err
+		return false
+	}
+	return ok
+}
+
+// rankOfOracle is Ranking.RankOf over an error-returning oracle.
+func rankOfOracle(r *core.Ranking, fn func(core.Sample) (bool, error)) (int, error) {
+	o := &oraclePred{fn: fn}
+	rank := r.RankOf(o.pred)
+	if o.err != nil {
+		return 0, o.err
+	}
+	return rank, nil
+}
+
+func summarize(name string, ranking *core.Ranking, oracle, trigger func(core.Sample) (bool, error)) (*CaseResult, error) {
 	r := &CaseResult{
 		Name:    name,
 		Samples: len(ranking.Samples),
 		Table:   ranking.Table(6, 2),
 	}
+	o := &oraclePred{fn: oracle}
 	for _, s := range ranking.Samples {
-		if oracle(s) {
+		if o.pred(s) {
 			r.Symptomatic++
 		}
 	}
-	r.FirstSymptomRank = ranking.RankOf(oracle)
+	r.FirstSymptomRank = ranking.RankOf(o.pred)
 	for _, s := range ranking.Top(r.Symptomatic) {
-		if oracle(s) {
+		if o.pred(s) {
 			r.TopKHits++
 		}
 	}
-	if trigger != nil {
-		r.TriggerRank = ranking.RankOf(trigger)
+	if o.err != nil {
+		return nil, fmt.Errorf("experiments: %s oracle: %w", name, o.err)
 	}
-	return r
+	if trigger != nil {
+		var err error
+		if r.TriggerRank, err = rankOfOracle(ranking, trigger); err != nil {
+			return nil, fmt.Errorf("experiments: %s trigger oracle: %w", name, err)
+		}
+	}
+	return r, nil
 }
 
 // VolumeResult is E4: trace size vs. intervals to inspect.
@@ -219,19 +260,22 @@ func InspectionEffort(seed uint64) (*EffortResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	oracle := func(s core.Sample) bool { return apps.CaseIISymptom(run, s.Interval) }
+	oracle := &oraclePred{fn: func(s core.Sample) (bool, error) { return apps.CaseIISymptom(run, s.Interval) }}
 	res := &EffortResult{Samples: len(ranking.Samples)}
-	res.Sentomist = ranking.RankOf(oracle)
+	res.Sentomist = ranking.RankOf(oracle.pred)
 	// Chronological: first symptomatic Seq among all samples.
 	firstSeq := -1
 	for _, s := range ranking.Samples {
-		if !oracle(s) {
+		if !oracle.pred(s) {
 			continue
 		}
 		res.Symptomatic++
 		if firstSeq < 0 || s.Interval.Seq < firstSeq {
 			firstSeq = s.Interval.Seq
 		}
+	}
+	if oracle.err != nil {
+		return nil, oracle.err
 	}
 	res.Chronological = firstSeq
 	res.RandomExp = baseline.ExpectedBruteForceInspections(res.Samples, res.Symptomatic)
@@ -271,12 +315,13 @@ func DetectorAblation(seed uint64) ([]AblationRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: detector %s: %w", d.name, err)
 		}
-		rows = append(rows, AblationRow{
-			Name: d.name,
-			FirstSymptomRank: ranking.RankOf(func(s core.Sample) bool {
-				return apps.CaseIISymptom(run, s.Interval)
-			}),
+		rank, err := rankOfOracle(ranking, func(s core.Sample) (bool, error) {
+			return apps.CaseIISymptom(run, s.Interval)
 		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: detector %s: %w", d.name, err)
+		}
+		rows = append(rows, AblationRow{Name: d.name, FirstSymptomRank: rank})
 	}
 	return rows, nil
 }
@@ -305,13 +350,13 @@ func FeatureAblation(seed uint64) ([]AblationRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: feature %s: %w", f.name, err)
 		}
-		rows = append(rows, AblationRow{
-			Name: f.name,
-			FirstSymptomRank: ranking.RankOf(func(s core.Sample) bool {
-				return apps.CaseIISymptom(run, s.Interval)
-			}),
-			Extra: float64(ranking.Dim),
+		rank, err := rankOfOracle(ranking, func(s core.Sample) (bool, error) {
+			return apps.CaseIISymptom(run, s.Interval)
 		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: feature %s: %w", f.name, err)
+		}
+		rows = append(rows, AblationRow{Name: f.name, FirstSymptomRank: rank, Extra: float64(ranking.Dim)})
 	}
 	return rows, nil
 }
@@ -342,12 +387,13 @@ func KernelAblation(seed uint64) ([]AblationRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: kernel %s: %w", k.name, err)
 		}
-		rows = append(rows, AblationRow{
-			Name: k.name,
-			FirstSymptomRank: ranking.RankOf(func(s core.Sample) bool {
-				return apps.CaseISymptom(run, s.Interval)
-			}),
+		rank, err := rankOfOracle(ranking, func(s core.Sample) (bool, error) {
+			return apps.CaseISymptom(run, s.Interval)
 		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: kernel %s: %w", k.name, err)
+		}
+		rows = append(rows, AblationRow{Name: k.name, FirstSymptomRank: rank})
 	}
 	return rows, nil
 }
@@ -360,7 +406,7 @@ func DustminerBaseline() ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	score, err := dustminerScore(caseIRun, apps.OscSensorID, dev.IRQADC, func(iv lifecycle.Interval) bool {
+	score, err := dustminerScore(caseIRun, apps.OscSensorID, dev.IRQADC, func(iv lifecycle.Interval) (bool, error) {
 		return apps.CaseISymptom(caseIRun, iv)
 	})
 	if err != nil {
@@ -372,7 +418,7 @@ func DustminerBaseline() ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	score, err = dustminerScore(caseIIRun, apps.FwdRelayID, dev.IRQRadioRX, func(iv lifecycle.Interval) bool {
+	score, err = dustminerScore(caseIIRun, apps.FwdRelayID, dev.IRQRadioRX, func(iv lifecycle.Interval) (bool, error) {
 		return apps.CaseIISymptom(caseIIRun, iv)
 	})
 	if err != nil {
@@ -382,7 +428,7 @@ func DustminerBaseline() ([]AblationRow, error) {
 	return rows, nil
 }
 
-func dustminerScore(run *apps.Run, nodeID, irq int, oracle func(lifecycle.Interval) bool) (float64, error) {
+func dustminerScore(run *apps.Run, nodeID, irq int, oracle func(lifecycle.Interval) (bool, error)) (float64, error) {
 	nt := run.Trace.Node(nodeID)
 	seq := lifecycle.NewSequence(nt)
 	ivs, err := seq.Extract()
@@ -394,7 +440,11 @@ func dustminerScore(run *apps.Run, nodeID, irq int, oracle func(lifecycle.Interv
 		if iv.IRQ != irq || !iv.Complete {
 			continue
 		}
-		segments = append(segments, baseline.SegmentOfInterval(seq, iv, oracle(iv)))
+		sym, err := oracle(iv)
+		if err != nil {
+			return 0, err
+		}
+		segments = append(segments, baseline.SegmentOfInterval(seq, iv, sym))
 	}
 	patterns, err := baseline.Discriminative(segments, 3, 1)
 	if err != nil {
@@ -424,13 +474,13 @@ func NuSensitivity(seed uint64) ([]AblationRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: nu %g: %w", nu, err)
 		}
-		rows = append(rows, AblationRow{
-			Name: fmt.Sprintf("nu=%g", nu),
-			FirstSymptomRank: ranking.RankOf(func(s core.Sample) bool {
-				return apps.CaseIISymptom(run, s.Interval)
-			}),
-			Extra: nu,
+		rank, err := rankOfOracle(ranking, func(s core.Sample) (bool, error) {
+			return apps.CaseIISymptom(run, s.Interval)
 		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: nu %g: %w", nu, err)
+		}
+		rows = append(rows, AblationRow{Name: fmt.Sprintf("nu=%g", nu), FirstSymptomRank: rank, Extra: nu})
 	}
 	return rows, nil
 }
@@ -452,7 +502,11 @@ func SequentialAblation() (preemptive, sequential int, err error) {
 		}
 		n := 0
 		for _, iv := range ivs {
-			if apps.CaseISymptom(run, iv) {
+			sym, err := apps.CaseISymptom(run, iv)
+			if err != nil {
+				return 0, err
+			}
+			if sym {
 				n++
 			}
 		}
@@ -465,4 +519,15 @@ func SequentialAblation() (preemptive, sequential int, err error) {
 		return 0, 0, err
 	}
 	return preemptive, sequential, nil
+}
+
+// RankingQuality is E8: the Sentomist-bench corpus evaluated end to end —
+// every seeded bug recorded, mined, and scored against its ground-truth
+// oracle, with precision@k and MRR aggregated per bug class. The same
+// report is what `rank -bench` gates against BENCH_QUALITY.json in CI.
+func RankingQuality() (*bench.Report, error) {
+	bench.NodeWorkers = NodeWorkers
+	bench.Speculate = Speculate
+	bench.SpecDepth = SpecDepth
+	return bench.EvaluateAll(bench.Catalog())
 }

@@ -1,0 +1,132 @@
+package synth
+
+import (
+	"testing"
+
+	"sentomist/internal/apps"
+)
+
+// ramOrFatal reads one RAM counter or fails the test.
+func ramOrFatal(t *testing.T, run *apps.Run, node int, name string) int {
+	t.Helper()
+	v, err := run.RAM(node, name)
+	if err != nil {
+		t.Fatalf("RAM(%d, %q): %v", node, name, err)
+	}
+	return int(v)
+}
+
+// bugPair describes one seeded-bug scenario's manifestation contract: the
+// symptom counter on the monitored node is positive in every buggy run and
+// zero in every fixed run, while the liveness counter is positive in both
+// (so a zero symptom count cannot come from a dead scenario).
+type bugPair struct {
+	name    string
+	run     func(BugScenarioConfig) (*apps.Run, error)
+	node    int
+	symptom string
+	live    string
+}
+
+var bugPairs = []bugPair{
+	{"splash-lrt", SplashLRT, 1, "lrtfires", "rxrounds"},
+	{"splash-root-hang", SplashRootHang, 0, "skipcnt", "beaconcnt"},
+	{"tree-incons", TreeIncons, 3, "inconscnt", "sentcnt"},
+	{"fp-ack", FPAck, 1, "spuriouscnt", "ackedcnt"},
+	{"scratch-clobber", ScratchClobber, 1, "corruptions", "digests"},
+	{"scratch-clobber-mi", ScratchClobberMI, 1, "corruptions", "digests"},
+}
+
+// TestSeededBugsManifest checks the manifestation contract of every pair at
+// several seeds: the bench corpus depends on buggy runs containing true
+// symptomatic intervals and fixed runs containing none.
+func TestSeededBugsManifest(t *testing.T) {
+	for _, p := range bugPairs {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 3; seed++ {
+				buggy, err := p.run(BugScenarioConfig{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d buggy: %v", seed, err)
+				}
+				fixed, err := p.run(BugScenarioConfig{Seed: seed, Fixed: true})
+				if err != nil {
+					t.Fatalf("seed %d fixed: %v", seed, err)
+				}
+				if got := ramOrFatal(t, buggy, p.node, p.symptom); got == 0 {
+					t.Errorf("seed %d: buggy run shows no %s on node %d", seed, p.symptom, p.node)
+				}
+				if got := ramOrFatal(t, fixed, p.node, p.symptom); got != 0 {
+					t.Errorf("seed %d: fixed run shows %s=%d on node %d", seed, p.symptom, got, p.node)
+				}
+				for variant, run := range map[string]*apps.Run{"buggy": buggy, "fixed": fixed} {
+					if got := ramOrFatal(t, run, p.node, p.live); got == 0 {
+						t.Errorf("seed %d: %s run is not live (%s=0)", seed, variant, p.live)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSplashLRTSpuriousOnly pins the property that makes every lrt_fire in
+// the buggy splash-lrt run a true symptom: dissemination stays alive for the
+// whole run (every leaf receives every round the root sent), so no recovery
+// fire is ever legitimate.
+func TestSplashLRTSpuriousOnly(t *testing.T) {
+	run, err := SplashLRT(BugScenarioConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := ramOrFatal(t, run, apps.SplashRootID, "sentcnt")
+	if sent == 0 {
+		t.Fatal("root sent no rounds")
+	}
+	for _, id := range apps.SplashLeaves {
+		if got := ramOrFatal(t, run, id, "rxrounds"); got != sent {
+			t.Errorf("node %d received %d of %d rounds; a missed round would legitimize a recovery fire", id, got, sent)
+		}
+	}
+}
+
+// TestSplashRootHangWedges pins the hang shape: one rejected round start and
+// the buggy root never disseminates again.
+func TestSplashRootHangWedges(t *testing.T) {
+	run, err := SplashRootHang(BugScenarioConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ramOrFatal(t, run, apps.SplashRootID, "failcnt"); got != 1 {
+		t.Errorf("failcnt = %d, want exactly 1 (the wedge means no later round reaches the send path)", got)
+	}
+	skips := ramOrFatal(t, run, apps.SplashRootID, "skipcnt")
+	sent := ramOrFatal(t, run, apps.SplashRootID, "sentcnt")
+	if skips < 10 {
+		t.Errorf("skipcnt = %d, want the root wedged for most of the run", skips)
+	}
+	fixed, err := SplashRootHang(BugScenarioConfig{Seed: 1, Fixed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedSent := ramOrFatal(t, fixed, apps.SplashRootID, "sentcnt")
+	if fixedSent <= sent {
+		t.Errorf("fixed root sent %d rounds, buggy sent %d; the fix should restore dissemination", fixedSent, sent)
+	}
+}
+
+// TestFPAckStaleAbsorbsDuplicates pins why the fixed fp-ack run is symptom
+// free even though the MAC delivers duplicate data frames: duplicate ACKs
+// take the stale path, not the orphaned-ACK path.
+func TestFPAckStaleAbsorbsDuplicates(t *testing.T) {
+	run, err := FPAck(BugScenarioConfig{Seed: 1, Fixed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ramOrFatal(t, run, apps.FPAckRelayID, "stalecnt"); got == 0 {
+		t.Skip("no MAC-level duplicates at this seed; stale path not exercised")
+	}
+	if got := ramOrFatal(t, run, apps.FPAckRelayID, "spuriouscnt"); got != 0 {
+		t.Errorf("fixed relay counted %d orphaned ACKs; duplicates must be absorbed by the stale path", got)
+	}
+}

@@ -280,19 +280,21 @@ func RunCaseIII(cfg CaseIIIConfig) (*Run, error) { return apps.RunCTPHeartbeat(c
 
 // CaseISymptom is the Case-I ground-truth oracle: the interval shows the
 // Figure-2 data-pollution race. Experiments use it to confirm top-ranked
-// intervals, standing in for the paper's manual inspection.
-func CaseISymptom(run *Run, iv Interval) bool { return apps.CaseISymptom(run, iv) }
+// intervals, standing in for the paper's manual inspection. Oracles error
+// when the question is malformed (no trace or binary for the interval's
+// node, or a missing oracle label) rather than reading as symptom-absent.
+func CaseISymptom(run *Run, iv Interval) (bool, error) { return apps.CaseISymptom(run, iv) }
 
 // CaseIISymptom is the Case-II oracle: the interval took the busy-flag
 // active-drop path.
-func CaseIISymptom(run *Run, iv Interval) bool { return apps.CaseIISymptom(run, iv) }
+func CaseIISymptom(run *Run, iv Interval) (bool, error) { return apps.CaseIISymptom(run, iv) }
 
 // CaseIIITrigger is the Case-III oracle for the FAIL-trigger instance.
-func CaseIIITrigger(run *Run, iv Interval) bool { return apps.CaseIIITrigger(run, iv) }
+func CaseIIITrigger(run *Run, iv Interval) (bool, error) { return apps.CaseIIITrigger(run, iv) }
 
 // CaseIIISymptom is the Case-III oracle for any hang symptom (the trigger
 // or a post-hang skipped report).
-func CaseIIISymptom(run *Run, iv Interval) bool { return apps.CaseIIISymptom(run, iv) }
+func CaseIIISymptom(run *Run, iv Interval) (bool, error) { return apps.CaseIIISymptom(run, iv) }
 
 // LoadTrace reads a trace saved by SaveTrace (binary, or JSON for paths
 // ending in ".json").
