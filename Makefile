@@ -29,9 +29,11 @@ bench-svm:
 	$(GO) test -run xxx -bench 'BenchmarkSparseOps' -benchmem ./internal/stats/
 	$(GO) test -run xxx -bench 'BenchmarkTrain|BenchmarkKernelEval' -benchmem -timeout 60m ./internal/svm/
 
-# The online-mining benchmarks behind BENCH_PR7.json: warm vs cold refits
-# at the l=10k campaign size, and the ingest-only spill path (several
-# minutes on one core).
+# The online-mining benchmarks behind BENCH_PR10.json (PR 7 baseline in
+# BENCH_PR7.json): warm delta refits vs cold refits at the l=10k campaign
+# size, the on-disk spill variants (indexed delta replay vs FullReplay,
+# with blocks-decoded/skipped counters), and the ingest-only spill path
+# (several minutes on one core).
 bench-online:
 	$(GO) test -run xxx -bench 'BenchmarkOnlineMine|BenchmarkOnlineIngest' -benchmem -timeout 60m ./internal/core/
 

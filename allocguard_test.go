@@ -5,6 +5,7 @@ import (
 
 	"sentomist"
 	"sentomist/internal/experiments"
+	"sentomist/internal/stats"
 	"sentomist/internal/svm"
 	"sentomist/internal/synth"
 )
@@ -78,17 +79,11 @@ const (
 	maxOnlineIngestAllocs = 7_000
 )
 
-// TestOnlineIngestAllocBudget guards the online miner's ingest path: with
-// intervals spilling to disk, allocation traffic must stay proportional to
-// the counters ingested (copy + spill buffers), not creep toward holding the
-// scaled training set resident between refits.
-func TestOnlineIngestAllocBudget(t *testing.T) {
-	if testing.Short() {
-		t.Skip("allocation guard skipped in -short mode")
-	}
-	if raceEnabled {
-		t.Skip("race instrumentation inflates allocation counts; CI guards allocations in a non-race step")
-	}
+// onlineGuardBatches builds the shared batch stream both online allocation
+// guards ingest: block-jittered counters split evenly across batches.
+// OnlineMiner.Add copies counters, so the same batches can be re-ingested
+// every benchmark iteration.
+func onlineGuardBatches() []sentomist.MineBatch {
 	counters := synth.LargeCampaign(synth.LargeCampaignConfig{
 		Seed: 11, Samples: onlineIngestSamples, Dim: onlineIngestDim,
 		BlockJitter: true, AnomalyRate: -1,
@@ -109,6 +104,21 @@ func TestOnlineIngestAllocBudget(t *testing.T) {
 		}
 		batches = append(batches, b)
 	}
+	return batches
+}
+
+// TestOnlineIngestAllocBudget guards the online miner's ingest path: with
+// intervals spilling to disk, allocation traffic must stay proportional to
+// the counters ingested (copy + spill buffers), not creep toward holding the
+// scaled training set resident between refits.
+func TestOnlineIngestAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts; CI guards allocations in a non-race step")
+	}
+	batches := onlineGuardBatches()
 	spillDir := t.TempDir()
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -139,6 +149,107 @@ func TestOnlineIngestAllocBudget(t *testing.T) {
 	}
 	if allocs > maxOnlineIngestAllocs {
 		t.Errorf("allocs/op regressed: %d > %d (threshold; see BENCH_PR7.json)", allocs, maxOnlineIngestAllocs)
+	}
+}
+
+// Online-refit allocation thresholds: the ingest stream above re-mined with
+// a refit every other batch (8 warm refits per op, l growing to 1500) and
+// the scale bounds pinned so every refit after the first replays only the
+// delta. The refit path reuses the resident scaled set, the solver's warm
+// coefficient buffer, and the per-state bound scratch; what remains is the
+// solve itself plus the delta block decode. The canonical measurement is
+// ~24.3 MB/op and ~10,500 allocs/op (BENCH_PR10.json); the ceilings carry
+// ~40% headroom for runner variance.
+const (
+	onlineRefitEvery     = 2
+	maxOnlineRefitBytes  = 34_000_000
+	maxOnlineRefitAllocs = 15_000
+)
+
+// TestOnlineRefitAllocBudget guards the warm delta-refit path: refitting
+// every other batch must not allocate per-refit copies of the whole
+// training set (resident samples, warm starts, and bound scratch are
+// reused), only the delta decode and the solver's own working set.
+func TestOnlineRefitAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts; CI guards allocations in a non-race step")
+	}
+	batches := onlineGuardBatches()
+	// Pin the scale bounds in the first batch — one sample at every
+	// dimension's global maximum plus one empty sample — so refits after the
+	// first see bitwise-stable bounds and take the delta-replay path.
+	hi := make([]float64, onlineIngestDim)
+	for _, b := range batches {
+		for _, c := range b.Counters {
+			for k, d := range c.Idx {
+				if c.Val[k] > hi[d] {
+					hi[d] = c.Val[k]
+				}
+			}
+		}
+	}
+	full := stats.Sparse{Dim: onlineIngestDim}
+	for d, v := range hi {
+		if v > 0 {
+			full.Idx = append(full.Idx, int32(d))
+			full.Val = append(full.Val, v)
+		}
+	}
+	pin := batches[0]
+	batches[0] = sentomist.MineBatch{
+		Run: pin.Run,
+		Intervals: append([]sentomist.Interval{
+			{IRQ: 1, Seq: onlineIngestSamples + 1, Node: 1, Complete: true, EndsWithTask: true},
+			{IRQ: 1, Seq: onlineIngestSamples + 2, Node: 1, Complete: true, EndsWithTask: true},
+		}, pin.Intervals...),
+		Counters: append([]stats.Sparse{full, {Dim: onlineIngestDim}}, pin.Counters...),
+	}
+	spillDir := t.TempDir()
+	var refits, deltas int
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			refits, deltas = 0, 0
+			m, err := sentomist.NewOnlineMiner(sentomist.OnlineMineConfig{
+				Config:     sentomist.MineConfig{IRQ: 1},
+				SpillDir:   spillDir,
+				RefitEvery: onlineRefitEvery,
+				TopK:       10,
+				OnRanking: func(r *sentomist.OnlineRanking) {
+					refits++
+					if r.Delta {
+						deltas++
+					}
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range batches {
+				if err := m.Add(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := m.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if refits == 0 || deltas != refits-1 {
+		t.Fatalf("%d of %d refits were delta replays, want all but the first", deltas, refits)
+	}
+	allocs := res.AllocsPerOp()
+	bytes := res.AllocedBytesPerOp()
+	t.Logf("online delta refits (l=%d, refit every %d batches, %d refits/op): %d allocs/op, %d B/op over %d op(s)",
+		onlineIngestSamples, onlineRefitEvery, refits, allocs, bytes, res.N)
+	if bytes > maxOnlineRefitBytes {
+		t.Errorf("B/op regressed: %d > %d (threshold; see BENCH_PR10.json)", bytes, maxOnlineRefitBytes)
+	}
+	if allocs > maxOnlineRefitAllocs {
+		t.Errorf("allocs/op regressed: %d > %d (threshold; see BENCH_PR10.json)", allocs, maxOnlineRefitAllocs)
 	}
 }
 

@@ -157,7 +157,7 @@ func run() error {
 	fmt.Println()
 
 	// E7: online incremental mining.
-	fmt.Println("E7 — online incremental mining (warm refits, streaming top-K, columnar spill)")
+	fmt.Println("E7 — online incremental mining (warm delta refits, streaming top-K, indexed columnar spill, multi-IRQ)")
 	t0 = time.Now()
 	oSamples, oRefits, oConfigs, oEqual, err := experiments.OnlineEquivalence(experiments.CaseISeedBase)
 	elapsed = time.Since(t0)
@@ -168,7 +168,7 @@ func run() error {
 	if !oEqual {
 		verdict = "DIVERGED from the one-shot campaign"
 	}
-	fmt.Printf("  Case I at %d worker/cadence/spill configs in %v: %d samples, %d intermediate refits, finalized rankings %s\n",
+	fmt.Printf("  Case I at %d worker/cadence/spill/replay configs in %v: %d samples, %d intermediate refits, finalized rankings %s\n",
 		oConfigs, elapsed.Round(time.Millisecond), oSamples, oRefits, verdict)
 	if !oEqual {
 		return fmt.Errorf("online mining ranking diverged")

@@ -30,7 +30,11 @@ type options struct {
 	svmShrink     bool
 	onlineRefit   int
 	onlineTopK    int
+	onlineIRQsCSV string
+	fullReplay    bool
 	spillDir      string
+	spillBlock    int
+	spillCompact  int
 	bench         bool
 	benchBaseline string
 	benchUpdate   string
@@ -49,7 +53,11 @@ func main() {
 	flag.BoolVar(&opt.svmShrink, "svm-shrink", false, "enable the SMO shrinking heuristic for large campaigns (same ranking up to the solver tolerance, not bitwise)")
 	flag.IntVar(&opt.onlineRefit, "online-refit", 0, "rank as you go: refit the SVM warm every N ingested batches and print each intermediate top-K; the final ranking is bit-identical to the one-shot path (svm detector only)")
 	flag.IntVar(&opt.onlineTopK, "online-topk", 10, "intermediate rankings keep the K most suspicious intervals (with -online-refit)")
+	flag.StringVar(&opt.onlineIRQsCSV, "online-irqs", "", "comma-separated additional event types mined alongside -irq, one incremental solver each over the shared stream (with -online-refit); every refit prints one top-K per type")
+	flag.BoolVar(&opt.fullReplay, "online-full-replay", false, "re-decode the whole spill at every refit instead of only the delta since the previous one (baseline; results identical)")
 	flag.StringVar(&opt.spillDir, "spill-dir", "", "spill featured intervals to a columnar SENTCOL1 file in this directory instead of holding them in memory between refits (with -online-refit; results identical)")
+	flag.IntVar(&opt.spillBlock, "spill-block", 0, "intervals per spill block (0 = default 512; results identical at any value)")
+	flag.IntVar(&opt.spillCompact, "spill-compact", 0, "merge a trailing run of this many undersized spill blocks into one (0 = default 8, negative disables; results identical)")
 	flag.BoolVar(&opt.bench, "bench", false, "evaluate the Sentomist-bench seeded-bug corpus (precision@k and MRR per bug class) instead of ranking trace files")
 	flag.StringVar(&opt.benchBaseline, "bench-baseline", "", "with -bench: compare the report against this JSON baseline and exit nonzero on any difference")
 	flag.StringVar(&opt.benchUpdate, "bench-update", "", "with -bench: write the report to this JSON baseline file")
@@ -153,6 +161,16 @@ func runOnline(opt options, inputs []sentomist.RunInput, nodeIDs []int, labels s
 	if opt.nu != 0.05 {
 		return fmt.Errorf("online mining uses the default nu = 0.05; -nu cannot be changed")
 	}
+	var extraIRQs []int
+	if opt.onlineIRQsCSV != "" {
+		for _, part := range strings.Split(opt.onlineIRQsCSV, ",") {
+			irq, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad event type %q in -online-irqs: %w", part, err)
+			}
+			extraIRQs = append(extraIRQs, irq)
+		}
+	}
 	cfg := sentomist.MineConfig{
 		IRQ:           opt.irq,
 		Nodes:         nodeIDs,
@@ -161,30 +179,20 @@ func runOnline(opt options, inputs []sentomist.RunInput, nodeIDs []int, labels s
 		SVMCacheBytes: int64(opt.svmCacheMB) << 20,
 		SVMShrinking:  opt.svmShrink,
 	}
-	batches, err := sentomist.ExtractBatches(inputs, cfg)
+	batches, err := sentomist.ExtractBatchesFor(inputs, cfg, append([]int{opt.irq}, extraIRQs...)...)
 	if err != nil {
 		return err
 	}
 	miner, err := sentomist.NewOnlineMiner(sentomist.OnlineMineConfig{
-		Config:     cfg,
-		RefitEvery: opt.onlineRefit,
-		TopK:       opt.onlineTopK,
-		SpillDir:   opt.spillDir,
-		OnRanking: func(r *sentomist.OnlineRanking) {
-			mode := "warm"
-			if !r.Warm {
-				mode = "cold"
-			}
-			if r.Rebuilt {
-				mode += "+rebuilt-cache"
-			}
-			fmt.Printf("refit %d (%s): %d batches, %d intervals, %d iters — top %d:\n",
-				r.Refit, mode, r.Batches, r.Total, r.Iters, len(r.Samples))
-			for i, s := range r.Samples {
-				fmt.Printf("  #%-3d run %d seq %d node %d  score %.6f\n",
-					i+1, s.Run, s.Interval.Seq, s.Interval.Node, s.Score)
-			}
-		},
+		Config:       cfg,
+		IRQs:         extraIRQs,
+		RefitEvery:   opt.onlineRefit,
+		TopK:         opt.onlineTopK,
+		SpillDir:     opt.spillDir,
+		SpillBlock:   opt.spillBlock,
+		SpillCompact: opt.spillCompact,
+		FullReplay:   opt.fullReplay,
+		OnRanking:    printOnlineRanking,
 	})
 	if err != nil {
 		return err
@@ -195,14 +203,63 @@ func runOnline(opt options, inputs []sentomist.RunInput, nodeIDs []int, labels s
 			return err
 		}
 	}
-	ranking, err := miner.Finalize()
+	if len(extraIRQs) == 0 {
+		ranking, err := miner.Finalize()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nfinal: %d intervals (%d excluded as incomplete), %d dims, detector %s:\n\n",
+			len(ranking.Samples), ranking.Excluded, ranking.Dim, ranking.Detector)
+		fmt.Print(ranking.Table(opt.top, opt.bottom))
+		return nil
+	}
+	irqs := miner.IRQs()
+	all, err := miner.FinalizeAll()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nfinal: %d intervals (%d excluded as incomplete), %d dims, detector %s:\n\n",
-		len(ranking.Samples), ranking.Excluded, ranking.Dim, ranking.Detector)
-	fmt.Print(ranking.Table(opt.top, opt.bottom))
+	for _, irq := range irqs {
+		ranking := all[irq]
+		if ranking == nil {
+			fmt.Printf("\nfinal irq %d: no complete intervals\n", irq)
+			continue
+		}
+		fmt.Printf("\nfinal irq %d: %d intervals (%d excluded as incomplete), %d dims, detector %s:\n\n",
+			irq, len(ranking.Samples), ranking.Excluded, ranking.Dim, ranking.Detector)
+		fmt.Print(ranking.Table(opt.top, opt.bottom))
+	}
 	return nil
+}
+
+// printOnlineRanking prints one intermediate refit: solver provenance,
+// replay observability (delta vs full, blocks decoded/skipped, spill
+// shape), and the top-K table.
+func printOnlineRanking(r *sentomist.OnlineRanking) {
+	mode := "warm"
+	if !r.Warm {
+		mode = "cold"
+	}
+	if r.Rebuilt {
+		mode += "+rebuilt-cache"
+	}
+	replay := "full"
+	if r.Delta {
+		replay = "delta"
+	}
+	fmt.Printf("refit %d irq %d (%s, %s replay): %d batches, %d intervals, %d iters; decoded %d blocks (%d samples), skipped %d; spill %d blocks",
+		r.Refit, r.IRQ, mode, replay, r.Batches, r.Total, r.Iters,
+		r.BlocksDecoded, r.SamplesReplayed, r.BlocksSkipped, r.SpilledBlocks)
+	if r.SpilledBytes > 0 {
+		fmt.Printf(" / %d bytes", r.SpilledBytes)
+	}
+	if r.Compactions > 0 {
+		fmt.Printf(", %d compactions", r.Compactions)
+	}
+	fmt.Printf(" — top %d:\n", len(r.Samples))
+	for i, s := range r.Samples {
+		fmt.Printf("  #%-3d run %d seq %d node %d  score %.6f\n",
+			i+1, s.Run, s.Interval.Seq, s.Interval.Node, s.Score)
+	}
 }
 
 // runBench is the Sentomist-bench entry point: evaluate the seeded-bug

@@ -36,7 +36,7 @@ func main() {
 		mineIRQ     = flag.Int("mine-irq", 0, "also mine every run's intervals of this event type and cross-check the cached-kernel SVM ranking against the dense path bitwise (0 = off)")
 		svmCacheMB  = flag.Int("svm-cache-mb", 1, "kernel column cache budget (MiB) for the cached side of the -mine-irq cross-check")
 		svmShrink   = flag.Bool("svm-shrink", false, "additionally exercise the shrinking heuristic on every -mine-irq problem (checked against the dense ranking to the solver tolerance)")
-		onlineCheck = flag.Bool("online-check", false, "additionally run every -mine-irq problem through the online miner (refit every batch, warm starts, spill) and require the finalized ranking to be bit-identical to one-shot MineBatches")
+		onlineCheck = flag.Bool("online-check", false, "additionally run every -mine-irq problem through the online miner (refit every batch, warm starts, on-disk spill, delta replay, a second event type, and a compacted pass) and require every finalized ranking to be bit-identical to one-shot MineBatches")
 		nodeWorkers = flag.Int("node-workers", 0, "emulator-side parallelism per scenario (sim.Config.ParallelNodes); traces are byte-identical at any setting (<= 1 = sequential)")
 		parCheck    = flag.Bool("par-check", false, "record every scenario twice — sequentially and with parallel node sections — and require the serialized traces to be byte-identical (uses -node-workers, or 4 when unset)")
 		speculate   = flag.Bool("speculate", false, "enable speculative (optimistic snapshot/rollback) sections on top of the parallel engine for every scenario; traces are byte-identical at any setting")
@@ -154,7 +154,7 @@ func run(runs int, seed uint64, nodes int, seconds float64, stream bool, mineIRQ
 			totalMined)
 	}
 	if onlineCheck {
-		fmt.Printf("online cross-check: %d intervals through %d warm refits, finalized rankings bit-identical to one-shot\n",
+		fmt.Printf("online cross-check: %d intervals through %d warm refits (spilled, delta replay verified by counters, two event types, plus a compacted pass), finalized rankings bit-identical to one-shot\n",
 			totalOnline, totalRefits)
 	}
 	if parCheck {
@@ -284,33 +284,114 @@ func verifyMine(t *trace.Trace, irq int, cacheBytes int64, shrink bool) (int, er
 }
 
 // verifyOnline streams one run's batches through the online miner — refit
-// after every batch, warm starts, intermediate top-5 rankings — and requires
-// the finalized ranking to be bit-identical to one-shot MineBatches over the
-// same batch stream. Runs without intervals of the event type are skipped.
+// after every batch, warm starts, an on-disk spill, delta replay, and a
+// second event type mined over the shared stream — and requires every
+// finalized ranking to be bit-identical to one-shot MineBatches for its
+// event type. Along the way the published replay counters are checked:
+// every refit accounts for all live spill blocks, and a delta refit decodes
+// only the blocks appended since the previous one. A second pass with
+// tiny-block compaction enabled must finalize identically. Runs without
+// intervals of any checked event type are skipped.
 func verifyOnline(t *trace.Trace, irq int) (intervals, refits int, err error) {
+	alt := 1
+	if irq == 1 {
+		alt = 4 // radio-rx alongside timer0
+	}
 	cfg := core.Config{IRQ: irq, Nodes: []int{0}}
-	// MineBatches scales counters in place, so each side gets its own
-	// freshly extracted batch stream.
-	oneShot, err := core.ExtractBatches([]core.RunInput{{Trace: t}}, cfg)
+	// One-shot references, one per event type. MineBatches scales counters
+	// in place, so each side gets its own freshly extracted batch stream.
+	wants := map[int]*core.Ranking{}
+	for _, q := range []int{irq, alt} {
+		qcfg := cfg
+		qcfg.IRQ = q
+		oneShot, err := core.ExtractBatches([]core.RunInput{{Trace: t}}, qcfg)
+		if err != nil {
+			return 0, 0, fmt.Errorf("online: %w", err)
+		}
+		want, err := core.MineBatches(oneShot, qcfg)
+		if errors.Is(err, core.ErrNoIntervals) {
+			continue
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		wants[q] = want
+		intervals += len(want.Samples)
+	}
+	if len(wants) == 0 {
+		return 0, 0, nil
+	}
+	batches, err := core.ExtractBatchesFor([]core.RunInput{{Trace: t}}, cfg, irq, alt)
 	if err != nil {
 		return 0, 0, fmt.Errorf("online: %w", err)
 	}
-	want, err := core.MineBatches(oneShot, cfg)
-	if errors.Is(err, core.ErrNoIntervals) {
-		return 0, 0, nil
-	}
+	spill, err := os.MkdirTemp("", "sentomist-soak-spill-")
 	if err != nil {
 		return 0, 0, err
 	}
-	batches, err := core.ExtractBatches([]core.RunInput{{Trace: t}}, cfg)
-	if err != nil {
-		return 0, 0, fmt.Errorf("online: %w", err)
+	defer os.RemoveAll(spill)
+
+	finalize := func(m *core.OnlineMiner, label string) error {
+		all, err := m.FinalizeAll()
+		if err != nil {
+			return fmt.Errorf("online %s: %w", label, err)
+		}
+		for q, want := range wants {
+			got := all[q]
+			if got == nil {
+				return fmt.Errorf("online %s: irq %d missing from FinalizeAll", label, q)
+			}
+			if len(got.Samples) != len(want.Samples) || got.Excluded != want.Excluded {
+				return fmt.Errorf("online %s irq %d: %d samples (%d excluded), one-shot %d (%d)",
+					label, q, len(got.Samples), got.Excluded, len(want.Samples), want.Excluded)
+			}
+			for i := range want.Samples {
+				if got.Samples[i] != want.Samples[i] {
+					return fmt.Errorf("online %s irq %d: rank %d diverges: online %+v, one-shot %+v",
+						label, q, i+1, got.Samples[i], want.Samples[i])
+				}
+			}
+		}
+		for q := range all {
+			if wants[q] == nil {
+				return fmt.Errorf("online %s: FinalizeAll returned irq %d, one-shot found no intervals", label, q)
+			}
+		}
+		return nil
 	}
+
+	// Pass 1: spilled, delta replay, compaction disabled — the replay
+	// counters must prove a delta refit decodes only the appended blocks.
+	var counterErr error
+	prevLive, lastBatches := 0, -1
 	miner, err := core.NewOnlineMiner(core.OnlineConfig{
-		Config:     cfg,
-		RefitEvery: 1,
-		TopK:       5,
-		OnRanking:  func(*core.OnlineRanking) { refits++ },
+		Config:       cfg,
+		IRQs:         []int{alt},
+		RefitEvery:   1,
+		TopK:         5,
+		SpillDir:     spill,
+		SpillBlock:   3, // force multiple blocks
+		SpillCompact: -1,
+		OnRanking: func(r *core.OnlineRanking) {
+			refits++
+			if counterErr != nil {
+				return
+			}
+			if r.BlocksDecoded+r.BlocksSkipped != r.SpilledBlocks {
+				counterErr = fmt.Errorf("online: refit %d irq %d decoded %d + skipped %d != %d live blocks",
+					r.Refit, r.IRQ, r.BlocksDecoded, r.BlocksSkipped, r.SpilledBlocks)
+				return
+			}
+			if r.Batches == lastBatches {
+				return // same refit event, same replay counters
+			}
+			if r.Delta && (r.BlocksSkipped != prevLive || r.BlocksDecoded != r.SpilledBlocks-prevLive) {
+				counterErr = fmt.Errorf("online: delta refit %d decoded %d/skipped %d with %d live blocks (%d at the previous refit)",
+					r.Refit, r.BlocksDecoded, r.BlocksSkipped, r.SpilledBlocks, prevLive)
+				return
+			}
+			prevLive, lastBatches = r.SpilledBlocks, r.Batches
+		},
 	})
 	if err != nil {
 		return 0, 0, err
@@ -321,21 +402,37 @@ func verifyOnline(t *trace.Trace, irq int) (intervals, refits int, err error) {
 			return 0, 0, fmt.Errorf("online: %w", err)
 		}
 	}
-	got, err := miner.Finalize()
+	if counterErr != nil {
+		miner.Close()
+		return 0, 0, counterErr
+	}
+	if err := finalize(miner, "delta"); err != nil {
+		return 0, 0, err
+	}
+
+	// Pass 2: aggressive tiny-block compaction; results must not change.
+	miner, err = core.NewOnlineMiner(core.OnlineConfig{
+		Config:       cfg,
+		IRQs:         []int{alt},
+		RefitEvery:   1,
+		TopK:         5,
+		SpillDir:     spill,
+		SpillBlock:   3,
+		SpillCompact: 2,
+	})
 	if err != nil {
-		return 0, 0, fmt.Errorf("online: %w", err)
+		return 0, 0, err
 	}
-	if len(got.Samples) != len(want.Samples) || got.Excluded != want.Excluded {
-		return 0, 0, fmt.Errorf("online: %d samples (%d excluded), one-shot %d (%d)",
-			len(got.Samples), got.Excluded, len(want.Samples), want.Excluded)
-	}
-	for i := range want.Samples {
-		if got.Samples[i] != want.Samples[i] {
-			return 0, 0, fmt.Errorf("online: rank %d diverges: online %+v, one-shot %+v",
-				i+1, got.Samples[i], want.Samples[i])
+	for _, b := range batches {
+		if err := miner.Add(b); err != nil {
+			miner.Close()
+			return 0, 0, fmt.Errorf("online compacted: %w", err)
 		}
 	}
-	return len(want.Samples), refits, nil
+	if err := finalize(miner, "compacted"); err != nil {
+		return 0, 0, err
+	}
+	return intervals, refits, nil
 }
 
 // verifyStream replays the node's markers through the online anatomizer and

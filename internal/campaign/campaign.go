@@ -70,14 +70,19 @@ type Config struct {
 }
 
 // OnlineOptions carries the rank-as-you-go knobs into core.OnlineConfig;
-// see the field docs there.
+// see the field docs there. IRQs adds event types mined alongside
+// Config.IRQ (one incremental solver per type over the shared stream);
+// MineAll returns every type's final ranking.
 type OnlineOptions struct {
-	RefitEvery int
-	TopK       int
-	SpillDir   string
-	SpillBlock int
-	ColdRefits bool
-	OnRanking  func(*core.OnlineRanking)
+	IRQs         []int
+	RefitEvery   int
+	TopK         int
+	SpillDir     string
+	SpillBlock   int
+	SpillCompact int
+	FullReplay   bool
+	ColdRefits   bool
+	OnRanking    func(*core.OnlineRanking)
 }
 
 // Attach is handed to each RunFunc; calling it creates the online
@@ -102,23 +107,18 @@ func Mine(cfg Config, runs []RunFunc) (*core.Ranking, error) {
 	if cfg.IRQ == 0 {
 		return nil, fmt.Errorf("campaign: config must name the IRQ to mine")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if cfg.NodeWorkers > 1 {
-			// Each run brings its own node-section workers; shrink the
-			// run-level fan-out so total goroutines stay near GOMAXPROCS.
-			if workers = workers / cfg.NodeWorkers; workers < 1 {
-				workers = 1
-			}
-		}
-	}
-	if workers > len(runs) {
-		workers = len(runs)
-	}
+	workers := poolWorkers(cfg, len(runs))
 	pool := &lifecycle.ScratchPool{}
 	if cfg.Online != nil {
-		return mineOnline(cfg, runs, workers, pool)
+		all, primary, err := mineOnline(cfg, runs, workers, pool)
+		if err != nil {
+			return nil, err
+		}
+		r := all[primary]
+		if r == nil {
+			return nil, core.ErrNoIntervals
+		}
+		return r, nil
 	}
 	type runOut struct {
 		streamers []*lifecycle.Streamer
@@ -176,17 +176,49 @@ func Mine(cfg Config, runs []RunFunc) (*core.Ranking, error) {
 	})
 }
 
+// MineAll is Mine for multi-IRQ online campaigns: every event type named by
+// cfg.IRQ and cfg.Online.IRQs is mined over the single shared run stream
+// and spill, and the map holds one final ranking per type that scored at
+// least one interval — each bit-identical to the one-shot path with that
+// type as Config.IRQ. Requires Online options.
+func MineAll(cfg Config, runs []RunFunc) (map[int]*core.Ranking, error) {
+	if cfg.Online == nil {
+		return nil, fmt.Errorf("campaign: MineAll requires Online options")
+	}
+	all, _, err := mineOnline(cfg, runs, poolWorkers(cfg, len(runs)), &lifecycle.ScratchPool{})
+	return all, err
+}
+
+// poolWorkers budgets the run-level fan-out.
+func poolWorkers(cfg Config, runs int) int {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if cfg.NodeWorkers > 1 {
+			// Each run brings its own node-section workers; shrink the
+			// run-level fan-out so total goroutines stay near GOMAXPROCS.
+			if workers = workers / cfg.NodeWorkers; workers < 1 {
+				workers = 1
+			}
+		}
+	}
+	if workers > runs {
+		workers = runs
+	}
+	return workers
+}
+
 // mineOnline is Mine's streaming arm: workers finalize each run's streamers
 // into batches as the run finishes, and a collector ingests them into a
 // core.OnlineMiner strictly in run order (a pending map holds batches from
-// runs that finished ahead of their turn). The final ranking replays the
-// spill through the identical scale → score → rank tail, so it is
+// runs that finished ahead of their turn). The final rankings replay the
+// spill through the identical scale → score → rank tail, so each is
 // bit-identical to the one-shot path at any worker count or refit cadence.
 // The first error encountered aborts the campaign, which may be a
 // later-indexed run than the one-shot path would report.
-func mineOnline(cfg Config, runs []RunFunc, workers int, pool *lifecycle.ScratchPool) (*core.Ranking, error) {
+func mineOnline(cfg Config, runs []RunFunc, workers int, pool *lifecycle.ScratchPool) (map[int]*core.Ranking, int, error) {
 	if cfg.Detector != nil {
-		return nil, fmt.Errorf("campaign: online mining drives the incremental one-class SVM; Detector must be nil")
+		return nil, 0, fmt.Errorf("campaign: online mining drives the incremental one-class SVM; Detector must be nil")
 	}
 	miner, err := core.NewOnlineMiner(core.OnlineConfig{
 		Config: core.Config{
@@ -199,16 +231,21 @@ func mineOnline(cfg Config, runs []RunFunc, workers int, pool *lifecycle.Scratch
 			Speculate:     cfg.Speculate,
 			SpecDepth:     cfg.SpecDepth,
 		},
-		RefitEvery: cfg.Online.RefitEvery,
-		TopK:       cfg.Online.TopK,
-		SpillDir:   cfg.Online.SpillDir,
-		SpillBlock: cfg.Online.SpillBlock,
-		ColdRefits: cfg.Online.ColdRefits,
-		OnRanking:  cfg.Online.OnRanking,
+		IRQs:         cfg.Online.IRQs,
+		RefitEvery:   cfg.Online.RefitEvery,
+		TopK:         cfg.Online.TopK,
+		SpillDir:     cfg.Online.SpillDir,
+		SpillBlock:   cfg.Online.SpillBlock,
+		SpillCompact: cfg.Online.SpillCompact,
+		FullReplay:   cfg.Online.FullReplay,
+		ColdRefits:   cfg.Online.ColdRefits,
+		OnRanking:    cfg.Online.OnRanking,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	keep := miner.IRQs()
+	primary := keep[0]
 	type runOut struct {
 		run     int
 		batches []core.Batch
@@ -224,7 +261,7 @@ func mineOnline(cfg Config, runs []RunFunc, workers int, pool *lifecycle.Scratch
 			for r := range jobs {
 				var streamers []*lifecycle.Streamer
 				attach := func(nodeID int) trace.StreamSink {
-					s := lifecycle.NewStreamer(nodeID, pool).Keep(cfg.IRQ)
+					s := lifecycle.NewStreamer(nodeID, pool).Keep(keep...)
 					streamers = append(streamers, s)
 					return s
 				}
@@ -280,7 +317,11 @@ func mineOnline(cfg Config, runs []RunFunc, workers int, pool *lifecycle.Scratch
 	}
 	if firstErr != nil {
 		miner.Close()
-		return nil, firstErr
+		return nil, 0, firstErr
 	}
-	return miner.Finalize()
+	all, err := miner.FinalizeAll()
+	if err != nil {
+		return nil, 0, err
+	}
+	return all, primary, nil
 }

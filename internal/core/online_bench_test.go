@@ -47,36 +47,54 @@ func onlineBenchBatches(l, dim, nb int) []Batch {
 // BenchmarkOnlineMine measures the incremental-refit path: 16 batches
 // ingested with a refit every 4, warm-started against the cold baseline at
 // the same kernel-cache budget (25% of the dense Gram). The warm variant
-// reuses both the previous optimum (fewer SMO iterations) and the surviving
-// cached columns; cold discards both before every refit, which is exactly
-// what rerunning one-shot mining per cadence tick would cost.
+// reuses the previous optimum (fewer SMO iterations), the surviving cached
+// columns (extended lazily, norms-shortcut evaluation for new cells), and
+// the resident scaled samples; cold discards all of it before every refit,
+// which is exactly what rerunning one-shot mining per cadence tick would
+// cost. The disk variants stream the same batches through an on-disk
+// SENTCOL1 spill: disk-delta decodes only the blocks appended since the
+// previous refit (the indexed delta-replay path), disk-full re-decodes the
+// whole spill every refit (the FullReplay baseline).
 func BenchmarkOnlineMine(b *testing.B) {
 	l, dim := onlineBenchSize(testing.Short())
 	const nBatches = 16
 	batches := onlineBenchBatches(l, dim, nBatches)
 	cacheBytes := int64(8) * int64(l) * int64(l) / 4
 	for _, variant := range []struct {
-		name string
-		cold bool
+		name       string
+		cold       bool
+		disk       bool
+		fullReplay bool
 	}{
-		{"warm", false},
-		{"cold", true},
+		{name: "warm"},
+		{name: "cold", cold: true},
+		{name: "disk-delta", disk: true},
+		{name: "disk-full", disk: true, fullReplay: true},
 	} {
 		b.Run(variant.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var iters, refits, rebuilds int
 			var hits, misses int64
+			var decoded, skipped int64
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
+				spill := ""
+				if variant.disk {
+					spill = b.TempDir()
+				}
 				m, err := NewOnlineMiner(OnlineConfig{
 					Config:     Config{IRQ: 1, SVMCacheBytes: cacheBytes},
 					RefitEvery: nBatches / 4,
 					ColdRefits: variant.cold,
+					SpillDir:   spill,
+					FullReplay: variant.fullReplay,
 					OnRanking: func(r *OnlineRanking) {
 						refits++
 						iters += r.Iters
 						hits += r.CacheHits
 						misses += r.CacheMisses
+						decoded += int64(r.BlocksDecoded)
+						skipped += int64(r.BlocksSkipped)
 						if r.Rebuilt {
 							rebuilds++
 						}
@@ -100,6 +118,10 @@ func BenchmarkOnlineMine(b *testing.B) {
 				b.ReportMetric(float64(rebuilds)/float64(b.N), "rebuilds/run")
 				if hits+misses > 0 {
 					b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+				}
+				if variant.disk {
+					b.ReportMetric(float64(decoded)/float64(refits), "blocks-decoded/refit")
+					b.ReportMetric(float64(skipped)/float64(refits), "blocks-skipped/refit")
 				}
 			}
 		})

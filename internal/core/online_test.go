@@ -274,7 +274,10 @@ func TestStreamingScaleMatchesScale01Sparse(t *testing.T) {
 		if err := m.Add(b); err != nil {
 			t.Fatal(err)
 		}
-		lo, hi := m.effectiveScale()
+		st := m.states[1]
+		st.effectiveScale()
+		lo := append([]float64(nil), st.curLo...)
+		hi := append([]float64(nil), st.curHi...)
 		m.Close()
 
 		want := make([]stats.Sparse, n)

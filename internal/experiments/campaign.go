@@ -73,10 +73,12 @@ func CampaignEquivalence(seedBase uint64) (samples int, equal bool, err error) {
 }
 
 // OnlineEquivalence exercises the rank-as-you-go path: the Case-I campaign
-// streamed into the online miner at several worker counts and refit
-// cadences — warm refits, columnar disk spill on one configuration — each
-// finalized ranking compared bitwise against the one-shot campaign ranking.
-// The cmd/experiments report prints it as E7.
+// streamed into the online miner at several worker counts, refit cadences,
+// and replay modes — warm refits, columnar disk spill, cursor-based delta
+// replay with tiny-block compaction, the full-replay baseline, and a
+// multi-IRQ configuration mining the sampling timer alongside the ADC —
+// each finalized primary ranking compared bitwise against the one-shot
+// campaign ranking. The cmd/experiments report prints it as E7.
 func OnlineEquivalence(seedBase uint64) (samples, refits, configs int, equal bool, err error) {
 	baseline, err := CaseICampaign(seedBase)
 	if err != nil {
@@ -95,12 +97,18 @@ func OnlineEquivalence(seedBase uint64) (samples, refits, configs int, equal boo
 		return true
 	}
 	for _, v := range []struct {
-		workers, refitEvery int
-		spill               bool
+		workers int
+		online  campaign.OnlineOptions
+		spill   bool
 	}{
-		{1, 1, false},
-		{3, 2, false},
-		{2, 1, true},
+		{1, campaign.OnlineOptions{RefitEvery: 1}, false},
+		{3, campaign.OnlineOptions{RefitEvery: 2}, false},
+		{2, campaign.OnlineOptions{RefitEvery: 1}, true},
+		// Delta replay over many tiny blocks with aggressive compaction.
+		{2, campaign.OnlineOptions{RefitEvery: 1, SpillBlock: 16, SpillCompact: 2}, true},
+		// Full-replay baseline plus a second event type sharing the stream;
+		// the primary ADC ranking must be unaffected.
+		{2, campaign.OnlineOptions{RefitEvery: 1, FullReplay: true, IRQs: []int{dev.IRQTimer0}}, true},
 	} {
 		spillDir := ""
 		if v.spill {
@@ -108,7 +116,7 @@ func OnlineEquivalence(seedBase uint64) (samples, refits, configs int, equal boo
 				return 0, 0, 0, false, err
 			}
 		}
-		got, runErr := mineCaseIOnline(seedBase, v.workers, v.refitEvery, spillDir, &refits)
+		got, runErr := mineCaseIOnline(seedBase, v.workers, v.online, spillDir, &refits)
 		if spillDir != "" {
 			os.RemoveAll(spillDir)
 		}
@@ -124,7 +132,7 @@ func OnlineEquivalence(seedBase uint64) (samples, refits, configs int, equal boo
 }
 
 // mineCaseIOnline is CaseICampaign with the streaming-ingest arm enabled.
-func mineCaseIOnline(seedBase uint64, workers, refitEvery int, spillDir string, refits *int) (*core.Ranking, error) {
+func mineCaseIOnline(seedBase uint64, workers int, online campaign.OnlineOptions, spillDir string, refits *int) (*core.Ranking, error) {
 	runs := make([]campaign.RunFunc, len(CaseIPeriods))
 	for i, d := range CaseIPeriods {
 		i, d := i, d
@@ -144,17 +152,15 @@ func mineCaseIOnline(seedBase uint64, workers, refitEvery int, spillDir string, 
 			return nil
 		}
 	}
+	online.TopK = 5
+	online.SpillDir = spillDir
+	online.OnRanking = func(*core.OnlineRanking) { *refits++ }
 	return campaign.Mine(campaign.Config{
 		IRQ:         dev.IRQADC,
 		Nodes:       []int{apps.OscSensorID},
 		NodeWorkers: NodeWorkers, Speculate: Speculate, SpecDepth: SpecDepth,
 		Workers:     workers,
-		Online: &campaign.OnlineOptions{
-			RefitEvery: refitEvery,
-			TopK:       5,
-			SpillDir:   spillDir,
-			OnRanking:  func(*core.OnlineRanking) { *refits++ },
-		},
+		Online:      &online,
 	}, runs)
 }
 

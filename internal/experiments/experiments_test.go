@@ -103,8 +103,8 @@ func TestOnlineEquivalenceShape(t *testing.T) {
 	if !equal {
 		t.Fatal("online finalized ranking diverged from the one-shot campaign")
 	}
-	if configs != 3 {
-		t.Errorf("exercised %d configs, want 3", configs)
+	if configs != 5 {
+		t.Errorf("exercised %d configs, want 5", configs)
 	}
 	if samples < 900 || samples > 1400 {
 		t.Errorf("samples = %d, want the paper's order (~1100)", samples)

@@ -109,6 +109,45 @@ func TestBlockedSparseOpsBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSparseDotGallopingRuns pins the galloping skip on its target regime —
+// long disjoint index runs (counters from different code paths) — against
+// the scalar merge, including runs that end exactly at a list boundary and
+// a final element far past the other list.
+func TestSparseDotGallopingRuns(t *testing.T) {
+	rng := randx.New(67)
+	for trial := 0; trial < 500; trial++ {
+		dim := 2048
+		v := make([]float64, dim)
+		w := make([]float64, dim)
+		// Each vector is a handful of contiguous blocks; blocks rarely
+		// overlap, so the merge alternates long one-sided runs.
+		for blk := 0; blk < 2+rng.Intn(4); blk++ {
+			n := 8 + rng.Intn(60)
+			at := rng.Intn(dim - n)
+			for k := 0; k < n; k++ {
+				v[at+k] = rng.NormFloat64()
+			}
+		}
+		for blk := 0; blk < 2+rng.Intn(4); blk++ {
+			n := 8 + rng.Intn(60)
+			at := rng.Intn(dim - n)
+			for k := 0; k < n; k++ {
+				w[at+k] = rng.NormFloat64()
+			}
+		}
+		if rng.Bool(0.3) {
+			v[dim-1] = 1 // tail element beyond every run of w
+		}
+		a, b := DenseToSparse(v), DenseToSparse(w)
+		if got, want := SparseDot(a, b), referenceSparseDot(a, b); got != want {
+			t.Fatalf("trial %d: SparseDot %v != reference %v", trial, got, want)
+		}
+		if got, want := SparseDot(b, a), referenceSparseDot(b, a); got != want {
+			t.Fatalf("trial %d: SparseDot(b,a) %v != reference %v", trial, got, want)
+		}
+	}
+}
+
 // BenchmarkSparseOps measures the blocked merge in the regime it targets
 // (fully aligned index lists) and the adversarial one (disjoint lists,
 // where only the scalar merge runs).

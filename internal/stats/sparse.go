@@ -65,9 +65,12 @@ func checkSparseDims(op string, a, b Sparse) {
 // index lists (intervals execute the same code path), so the merge runs a
 // blocked fast path: while the next four index pairs line up it processes
 // them without the three-way branch, falling back to the scalar merge the
-// moment they diverge. The accumulator takes exactly the same additions in
-// exactly the same order either way, so the result stays bit-identical to
-// the plain merge (and to Dot on the densified vectors).
+// moment they diverge. Indices present on only one side contribute no term
+// at all, so long disjoint stretches — counters from different code paths —
+// are skipped by a galloping search instead of stepped through one element
+// at a time. The accumulator takes exactly the same additions in exactly
+// the same order either way, so the result stays bit-identical to the plain
+// merge (and to Dot on the densified vectors).
 func SparseDot(a, b Sparse) float64 {
 	checkSparseDims("SparseDot", a, b)
 	var s float64
@@ -86,9 +89,9 @@ func SparseDot(a, b Sparse) float64 {
 		}
 		switch {
 		case a.Idx[i] < b.Idx[j]:
-			i++
+			i = seekIdx(a.Idx, i, b.Idx[j])
 		case a.Idx[i] > b.Idx[j]:
-			j++
+			j = seekIdx(b.Idx, j, a.Idx[i])
 		default:
 			s += a.Val[i] * b.Val[j]
 			i++
@@ -98,9 +101,9 @@ func SparseDot(a, b Sparse) float64 {
 	for i < na && j < nb {
 		switch {
 		case a.Idx[i] < b.Idx[j]:
-			i++
+			i = seekIdx(a.Idx, i, b.Idx[j])
 		case a.Idx[i] > b.Idx[j]:
-			j++
+			j = seekIdx(b.Idx, j, a.Idx[i])
 		default:
 			s += a.Val[i] * b.Val[j]
 			i++
@@ -108,6 +111,31 @@ func SparseDot(a, b Sparse) float64 {
 		}
 	}
 	return s
+}
+
+// seekIdx returns the smallest position p ≥ i with idx[p] ≥ target, given
+// idx[i] < target: an exponential gallop followed by a binary search, so a
+// run of r skippable indices costs O(log r) comparisons instead of r.
+func seekIdx(idx []int32, i int, target int32) int {
+	n := len(idx)
+	step := 1
+	for i+step < n && idx[i+step] < target {
+		i += step
+		step <<= 1
+	}
+	hi := i + step
+	if hi > n {
+		hi = n
+	}
+	for i+1 < hi {
+		mid := int(uint(i+hi) >> 1)
+		if idx[mid] < target {
+			i = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }
 
 // SparseSqDist returns ‖a−b‖² by merging the two index lists in ascending

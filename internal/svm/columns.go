@@ -91,6 +91,17 @@ type sparseColSource struct {
 	vals    []float64
 	keyBuf  []byte
 	workers int
+
+	// Fast mode (enableFastEval): evaluate new cells through the kernel's
+	// norms identity — a sparse dot over shared indices per pair instead of
+	// a merge over the union — using one cached squared norm per group
+	// representative. Values then agree with EvalSparse to floating-point
+	// accuracy rather than bit-for-bit, so only callers operating under an
+	// ε-equivalence discipline (Incremental's carried warm refits) turn it
+	// on; every cold solve keeps the exact merge.
+	normKernel NormSparseKernel
+	norms      []float64 // group -> ‖rep‖², maintained while fast is set
+	fast       bool
 }
 
 func newSparseColSource(samples []stats.Sparse, kernel SparseKernel, workers int) *sparseColSource {
@@ -99,8 +110,25 @@ func newSparseColSource(samples []stats.Sparse, kernel SparseKernel, workers int
 		seen:    make(map[string]int, len(samples)),
 		workers: workers,
 	}
+	s.normKernel, _ = kernel.(NormSparseKernel)
 	s.extendTo(samples)
 	return s
+}
+
+// enableFastEval switches all subsequent cell evaluations to the norms
+// identity, when the kernel supports it. Already-filled cells are untouched.
+func (s *sparseColSource) enableFastEval() {
+	if s.normKernel == nil {
+		return
+	}
+	s.fast = true
+	s.ensureNorms()
+}
+
+func (s *sparseColSource) ensureNorms() {
+	for g := len(s.norms); g < len(s.reps); g++ {
+		s.norms = append(s.norms, s.samples[s.reps[g]].SqNorm())
+	}
 }
 
 // extendTo rebinds the source to the full current batch, deduplicating only
@@ -139,6 +167,9 @@ func (s *sparseColSource) extendTo(all []stats.Sparse) (oldLen, oldReps int) {
 	} else {
 		s.vals = s.vals[:len(s.reps)]
 	}
+	if s.fast {
+		s.ensureNorms()
+	}
 	return oldLen, oldReps
 }
 
@@ -151,17 +182,29 @@ func (s *sparseColSource) length() int        { return len(s.samples) }
 func (s *sparseColSource) distinct() int      { return len(s.reps) }
 func (s *sparseColSource) remapped(j int) int { return s.group[j] }
 
+// evalCell computes the kernel value between group b's representative and
+// rg (group g's representative), honoring fast mode and buildGram's
+// argument orientation (larger group index first).
+func (s *sparseColSource) evalCell(b, g int, rg stats.Sparse) float64 {
+	if s.fast {
+		if b >= g {
+			return s.normKernel.EvalSparseNorms(s.samples[s.reps[b]], rg, s.norms[b], s.norms[g])
+		}
+		return s.normKernel.EvalSparseNorms(rg, s.samples[s.reps[b]], s.norms[g], s.norms[b])
+	}
+	if b >= g {
+		return s.kernel.EvalSparse(s.samples[s.reps[b]], rg)
+	}
+	return s.kernel.EvalSparse(rg, s.samples[s.reps[b]])
+}
+
 func (s *sparseColSource) fill(g int, dst []float64) {
 	rg := s.samples[s.reps[g]]
 	parallelRanges(len(s.reps), s.workers, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
 			// gramSparse's representative block stores g[x][y] (x >= y) as
 			// EvalSparse(samples[reps[x]], samples[reps[y]]).
-			if b >= g {
-				s.vals[b] = s.kernel.EvalSparse(s.samples[s.reps[b]], rg)
-			} else {
-				s.vals[b] = s.kernel.EvalSparse(rg, s.samples[s.reps[b]])
-			}
+			s.vals[b] = s.evalCell(b, g, rg)
 		}
 	})
 	for k := range dst {
@@ -183,11 +226,7 @@ func (s *sparseColSource) fillTail(g int, dst []float64, from, oldReps int) {
 	parallelRanges(newReps, s.workers, func(lo, hi int) {
 		for b := oldReps + lo; b < oldReps+hi; b++ {
 			// Same orientation rule as fill: larger group index first.
-			if b >= g {
-				s.vals[b] = s.kernel.EvalSparse(s.samples[s.reps[b]], rg)
-			} else {
-				s.vals[b] = s.kernel.EvalSparse(rg, s.samples[s.reps[b]])
-			}
+			s.vals[b] = s.evalCell(b, g, rg)
 		}
 	})
 	for k := from; k < len(dst); k++ {

@@ -32,6 +32,20 @@ type SparseKernel interface {
 	EvalSparse(a, b stats.Sparse) float64
 }
 
+// NormSparseKernel is a SparseKernel that can evaluate from precomputed
+// squared norms: with ‖a‖² and ‖b‖² cached once per vector, a distance
+// kernel needs only a sparse dot over the SHARED indices per pair instead
+// of a merge over the union. For dot-product kernels (Linear, Poly) the
+// result is bit-identical to EvalSparse; for distance kernels (RBF) it
+// agrees only to floating-point accuracy (‖a‖²+‖b‖²−2⟨a,b⟩ is subject to
+// cancellation — see stats.SqDistViaNorms), so callers may use it only
+// where ε-equivalence suffices, never on a path with a bit-exactness
+// contract.
+type NormSparseKernel interface {
+	SparseKernel
+	EvalSparseNorms(a, b stats.Sparse, na2, nb2 float64) float64
+}
+
 // RBF is the Gaussian kernel exp(-gamma ‖a-b‖²) — the paper's choice, since
 // the boundary between normal and abnormal instruction counters is
 // "nonlinear in nature" (Section V-C2).
@@ -49,6 +63,13 @@ func (k RBF) EvalSparse(a, b stats.Sparse) float64 {
 	return math.Exp(-k.Gamma * stats.SparseSqDist(a, b))
 }
 
+// EvalSparseNorms implements NormSparseKernel: the distance comes from the
+// norms identity, so the value matches EvalSparse to floating-point
+// accuracy, not bit-for-bit.
+func (k RBF) EvalSparseNorms(a, b stats.Sparse, na2, nb2 float64) float64 {
+	return math.Exp(-k.Gamma * stats.SqDistViaNorms(a, b, na2, nb2))
+}
+
 func (k RBF) String() string { return fmt.Sprintf("rbf(gamma=%g)", k.Gamma) }
 
 // Linear is the inner-product kernel, used by the kernel-choice ablation.
@@ -59,6 +80,12 @@ func (Linear) Eval(a, b []float64) float64 { return stats.Dot(a, b) }
 
 // EvalSparse implements SparseKernel.
 func (Linear) EvalSparse(a, b stats.Sparse) float64 { return stats.SparseDot(a, b) }
+
+// EvalSparseNorms implements NormSparseKernel; a dot-product kernel ignores
+// the norms, so it is bit-identical to EvalSparse.
+func (k Linear) EvalSparseNorms(a, b stats.Sparse, _, _ float64) float64 {
+	return k.EvalSparse(a, b)
+}
 
 func (Linear) String() string { return "linear" }
 
@@ -77,6 +104,12 @@ func (k Poly) Eval(a, b []float64) float64 {
 // EvalSparse implements SparseKernel.
 func (k Poly) EvalSparse(a, b stats.Sparse) float64 {
 	return math.Pow(k.Gamma*stats.SparseDot(a, b)+k.Coef0, float64(k.Degree))
+}
+
+// EvalSparseNorms implements NormSparseKernel; a dot-product kernel ignores
+// the norms, so it is bit-identical to EvalSparse.
+func (k Poly) EvalSparseNorms(a, b stats.Sparse, _, _ float64) float64 {
+	return k.EvalSparse(a, b)
 }
 
 func (k Poly) String() string {

@@ -17,7 +17,16 @@ import (
 //   - the dedup state and the LRU kernel-column cache persist across
 //     refits — a cached column is extended in place, lazily, the first time
 //     the new solve touches it, so only (new sample group × touched column)
-//     kernel evaluations are paid.
+//     kernel evaluations are paid;
+//   - once state carries over, those evaluations take the norms shortcut:
+//     ‖a−b‖² = ‖a‖² + ‖b‖² − 2⟨a,b⟩ with one squared norm cached per
+//     distinct sample, so each cell costs a sparse dot over the SHARED
+//     indices instead of a merge over the union (stats.SqDistViaNorms).
+//     Shortcut cells agree with exact evaluation to floating-point
+//     accuracy, not bit-for-bit — within the ε discipline below — and
+//     every cold solve (first fit, rebuilds, a caller's from-scratch
+//     finalization) keeps the exact merge, so bit-exactness contracts on
+//     cold paths are untouched.
 //
 // The reuse is sound only while the already-seen prefix of the batch stays
 // bitwise identical between refits; the caller signals that with
@@ -36,6 +45,7 @@ type Incremental struct {
 	src     *sparseColSource
 	cache   *colCache
 	alpha   []float64 // full-length α of the last solve (pre-compaction)
+	warmBuf []float64 // reused projectAlpha output (solveFrom copies it)
 	prevLen int
 	prevDim int
 
@@ -105,12 +115,17 @@ func (inc *Incremental) Refit(samples []stats.Sparse, prefixValid bool) (*Model,
 		inc.cache.grow(inc.cfg.cacheBytes())
 		// Per-refit hit/miss diagnostics are more useful than cumulative.
 		inc.cache.hits, inc.cache.misses = 0, 0
+		// A carried refit is warm-started and ε-equivalent by the
+		// discipline above, so new kernel cells may take the norms
+		// shortcut; every cold solve keeps the exact merge evaluation.
+		inc.src.enableFastEval()
 	}
 	inc.prevLen, inc.prevDim = l, dim
 
 	var warm []float64
 	if inc.alpha != nil {
-		warm = projectAlpha(inc.alpha, l, 1/(inc.cfg.Nu*float64(l)))
+		inc.warmBuf = projectAlphaInto(inc.warmBuf, inc.alpha, l, 1/(inc.cfg.Nu*float64(l)))
+		warm = inc.warmBuf
 	}
 	m, err := solveFrom(inc.cache, l, inc.cfg, kernel, warm)
 	if err != nil {
@@ -138,7 +153,20 @@ func (inc *Incremental) Refit(samples []stats.Sparse, prefixValid bool) (*Model,
 // headroom. When the problem did not grow and c is unchanged, the result
 // is the previous α exactly.
 func projectAlpha(prev []float64, l int, c float64) []float64 {
-	warm := make([]float64, l)
+	return projectAlphaInto(nil, prev, l, c)
+}
+
+// projectAlphaInto is projectAlpha writing into a reused buffer: dst's
+// backing array is kept when it is large enough (the solver copies the
+// warm start, so the buffer is free again by the next refit).
+func projectAlphaInto(dst, prev []float64, l int, c float64) []float64 {
+	if cap(dst) < l {
+		dst = make([]float64, l)
+	}
+	warm := dst[:l]
+	for i := range warm {
+		warm[i] = 0
+	}
 	n := len(prev)
 	if n > l {
 		n = l

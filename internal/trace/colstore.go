@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"sentomist/internal/stats"
 )
@@ -15,8 +16,8 @@ import (
 // intervals*: sparse instruction counters plus a fixed number of integer
 // metadata fields per sample. It exists for online mining — a campaign of
 // millions of intervals appends counters as runs finish and replays them
-// sequentially at each refit, so featured intervals never have to stay
-// resident between refits.
+// at each refit, so featured intervals never have to stay resident
+// between refits.
 //
 // Layout: after the 8-byte magic, the file is a sequence of self-contained
 // blocks. Within a block the data is columnar — each field is stored as one
@@ -37,15 +38,58 @@ import (
 // Values round-trip bit-for-bit (raw IEEE-754 bits, no text formatting), so
 // counters replayed from a spill are indistinguishable from counters held
 // resident — the property the online miner's exact final refit relies on.
+//
+// Alongside the stream the writer maintains a block index (ColBlockStat):
+// each appended block's byte offset and length, its first-sample ordinal,
+// and per-dimension min/max/presence statistics over its counters. The
+// index is what turns the append-only stream into a random-access store —
+// a replayer can skip straight to the blocks appended since its last
+// cursor (delta refits), decode independent blocks concurrently
+// (ReadColBlockAt is safe from multiple goroutines over one io.ReaderAt),
+// and rewrite runs of undersized blocks without rescanning the file
+// (log-style compaction keyed by offsets; superseded byte ranges are
+// simply no longer referenced). The per-dimension statistics make the
+// blocks self-describing for scale-sensitive consumers: the effective
+// [0,1]-scaling bounds of any block subset can be recovered by merging
+// entries, without decoding a single counter — the hook for
+// sliding-window (decremental) mining over a spill.
 
 // colMagic distinguishes the columnar container.
 const colMagic = "SENTCOL1"
+
+// ColDimStat is one dimension's statistics within a block: the min and max
+// of the explicitly stored values and how many of the block's samples carry
+// an entry at this dimension (samples without an entry hold an implicit
+// zero there — Count < Samples means the dimension's effective minimum may
+// be 0 even when Min is positive, exactly the rule Scale01Sparse applies).
+type ColDimStat struct {
+	Dim      int32
+	Min, Max float64
+	Count    int32
+}
+
+// ColBlockStat is one block's entry in the writer-side index.
+type ColBlockStat struct {
+	// Offset is the block's byte offset within the stream (the magic is at
+	// offset 0), Length its encoded size in bytes.
+	Offset, Length int64
+	// Start is the append-order ordinal of the block's first sample;
+	// Samples is how many the block holds.
+	Start, Samples int
+	// Dims holds per-dimension min/max/presence statistics, ascending by
+	// dimension; only dimensions with at least one explicit entry appear.
+	Dims []ColDimStat
+}
 
 // ColWriter appends blocks of sparse counters to an underlying writer.
 type ColWriter struct {
 	w         *bufio.Writer
 	metaWidth int
 	scratch   []byte
+	off       int64
+	samples   int
+	index     []ColBlockStat
+	dimPos    map[int32]int // scratch: dim -> position in the block's Dims
 }
 
 // NewColWriter starts a SENTCOL1 stream on w: the magic is written
@@ -59,7 +103,7 @@ func NewColWriter(w io.Writer, metaWidth int) (*ColWriter, error) {
 	if _, err := bw.WriteString(colMagic); err != nil {
 		return nil, fmt.Errorf("trace: write column-store magic: %w", err)
 	}
-	return &ColWriter{w: bw, metaWidth: metaWidth}, nil
+	return &ColWriter{w: bw, metaWidth: metaWidth, off: int64(len(colMagic)), dimPos: map[int32]int{}}, nil
 }
 
 // Append writes one block. meta and counters are parallel (meta[i] belongs
@@ -114,8 +158,60 @@ func (cw *ColWriter) Append(meta [][]int64, counters []stats.Sparse) error {
 	if _, err := cw.w.Write(buf); err != nil {
 		return fmt.Errorf("trace: column-store append: %w", err)
 	}
+	cw.index = append(cw.index, ColBlockStat{
+		Offset:  cw.off,
+		Length:  int64(len(buf)),
+		Start:   cw.samples,
+		Samples: n,
+		Dims:    cw.blockDims(counters),
+	})
+	cw.off += int64(len(buf))
+	cw.samples += n
 	return nil
 }
+
+// blockDims accumulates one block's per-dimension statistics, ascending by
+// dimension.
+func (cw *ColWriter) blockDims(counters []stats.Sparse) []ColDimStat {
+	for d := range cw.dimPos {
+		delete(cw.dimPos, d)
+	}
+	var out []ColDimStat
+	for _, c := range counters {
+		for k, d := range c.Idx {
+			v := c.Val[k]
+			p, ok := cw.dimPos[d]
+			if !ok {
+				cw.dimPos[d] = len(out)
+				out = append(out, ColDimStat{Dim: d, Min: v, Max: v, Count: 1})
+				continue
+			}
+			s := &out[p]
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+			s.Count++
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Dim < out[b].Dim })
+	return out
+}
+
+// Index returns the per-block index of everything appended so far, in
+// append order. The returned slice is owned by the writer; callers must
+// not mutate it (append-only growth keeps previously returned prefixes
+// valid).
+func (cw *ColWriter) Index() []ColBlockStat { return cw.index }
+
+// Offset returns the stream length in bytes after every appended block —
+// where the next block would start.
+func (cw *ColWriter) Offset() int64 { return cw.off }
+
+// Samples returns how many samples have been appended so far.
+func (cw *ColWriter) Samples() int { return cw.samples }
 
 // Flush pushes buffered bytes to the underlying writer. Call it before
 // opening the written data for replay.
@@ -148,18 +244,63 @@ func NewColReader(r io.Reader) (*ColReader, error) {
 // stream. The returned counters share one backing array per field and do
 // not alias reader state — they stay valid across further Next calls.
 func (cr *ColReader) Next() (meta [][]int64, counters []stats.Sparse, err error) {
-	n64, err := binary.ReadUvarint(cr.r)
+	return decodeColBlock(cr.r)
+}
+
+// ReadColBlockAt decodes the single block starting at byte offset off —
+// the random-access counterpart of ColReader.Next, keyed by a
+// ColBlockStat.Offset from the writer's index. It is safe to call
+// concurrently from multiple goroutines over one io.ReaderAt (each call
+// reads through its own section reader), which is what lets a replayer
+// decode independent blocks in parallel.
+func ReadColBlockAt(r io.ReaderAt, off int64) (meta [][]int64, counters []stats.Sparse, err error) {
+	if off < int64(len(colMagic)) {
+		return nil, nil, fmt.Errorf("trace: column-store block offset %d inside the magic", off)
+	}
+	br := bufio.NewReader(io.NewSectionReader(r, off, math.MaxInt64-off))
+	meta, counters, err = decodeColBlock(br)
+	if err == io.EOF {
+		// A clean between-blocks EOF is valid for a stream but means the
+		// offset pointed past the data here.
+		return nil, nil, fmt.Errorf("trace: column-store block at offset %d: %w", off, io.ErrUnexpectedEOF)
+	}
+	return meta, counters, err
+}
+
+// maxPrealloc bounds how many elements any decode preallocates from a
+// block header alone. Claimed counts beyond it grow by append, so a
+// corrupt header cannot force an allocation larger than the bytes actually
+// present in the input.
+const maxPrealloc = 1 << 16
+
+// capHint clamps a header-claimed element count to the preallocation bound.
+func capHint(claimed int64) int {
+	if claimed > maxPrealloc {
+		return maxPrealloc
+	}
+	if claimed < 0 {
+		return 0
+	}
+	return int(claimed)
+}
+
+// decodeColBlock reads one block from br. io.EOF before the first header
+// byte is returned as-is (clean end of stream); any truncation inside the
+// block surfaces as io.ErrUnexpectedEOF. Allocation is bounded by the
+// bytes actually read, never by header claims alone.
+func decodeColBlock(br *bufio.Reader) (meta [][]int64, counters []stats.Sparse, err error) {
+	n64, err := binary.ReadUvarint(br)
 	if err == io.EOF {
 		return nil, nil, io.EOF
 	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("trace: column-store block header: %w", truncated(err))
 	}
-	dim64, err := binary.ReadUvarint(cr.r)
+	dim64, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, nil, fmt.Errorf("trace: column-store block header: %w", truncated(err))
 	}
-	mw64, err := binary.ReadUvarint(cr.r)
+	mw64, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, nil, fmt.Errorf("trace: column-store block header: %w", truncated(err))
 	}
@@ -169,42 +310,41 @@ func (cr *ColReader) Next() (meta [][]int64, counters []stats.Sparse, err error)
 	}
 	n, dim, metaWidth := int(n64), int(dim64), int(mw64)
 
-	metaCells := make([]int64, n*metaWidth)
-	meta = make([][]int64, n)
-	for i := range meta {
-		meta[i] = metaCells[i*metaWidth : (i+1)*metaWidth : (i+1)*metaWidth]
-		for f := range meta[i] {
-			v, err := binary.ReadVarint(cr.r)
-			if err != nil {
-				return nil, nil, fmt.Errorf("trace: column-store meta block: %w", truncated(err))
-			}
-			meta[i][f] = v
+	// Every decoded element costs at least one input byte (eight for
+	// values), so append-based growth keeps allocation proportional to the
+	// data actually present even when a corrupt header claims 2^40 samples.
+	metaCells := make([]int64, 0, capHint(int64(n)*int64(metaWidth)))
+	for i := 0; i < n*metaWidth; i++ {
+		v, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: column-store meta block: %w", truncated(err))
 		}
+		metaCells = append(metaCells, v)
+	}
+	meta = make([][]int64, 0, capHint(int64(n)))
+	for i := 0; i < n; i++ {
+		meta = append(meta, metaCells[i*metaWidth:(i+1)*metaWidth:(i+1)*metaWidth])
 	}
 
-	nnz := make([]int, n)
+	nnz := make([]int, 0, capHint(int64(n)))
 	total := 0
-	for i := range nnz {
-		v, err := binary.ReadUvarint(cr.r)
+	for i := 0; i < n; i++ {
+		v, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, nil, fmt.Errorf("trace: column-store length block: %w", truncated(err))
 		}
 		if v > uint64(dim) {
 			return nil, nil, fmt.Errorf("trace: column-store counter %d claims %d entries in %d dims", i, v, dim)
 		}
-		nnz[i] = int(v)
+		nnz = append(nnz, int(v))
 		total += int(v)
 	}
 
-	idxCells := make([]int32, total)
-	valCells := make([]float64, total)
-	counters = make([]stats.Sparse, n)
-	at := 0
-	for i := range counters {
-		idx := idxCells[at : at+nnz[i] : at+nnz[i]]
+	idxCells := make([]int32, 0, capHint(int64(total)))
+	for i := 0; i < n; i++ {
 		prev := int64(-1)
-		for k := range idx {
-			d, err := binary.ReadUvarint(cr.r)
+		for k := 0; k < nnz[i]; k++ {
+			d, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, nil, fmt.Errorf("trace: column-store index block: %w", truncated(err))
 			}
@@ -212,19 +352,27 @@ func (cr *ColReader) Next() (meta [][]int64, counters []stats.Sparse, err error)
 			if d == 0 || prev >= int64(dim) {
 				return nil, nil, fmt.Errorf("trace: column-store counter %d index %d out of range (dim %d)", i, prev, dim)
 			}
-			idx[k] = int32(prev)
+			idxCells = append(idxCells, int32(prev))
 		}
-		counters[i] = stats.Sparse{Idx: idx, Val: valCells[at : at+nnz[i] : at+nnz[i]], Dim: dim}
-		at += nnz[i]
 	}
+	valCells := make([]float64, 0, capHint(int64(total)))
 	var u8 [8]byte
-	for i := range counters {
-		for k := range counters[i].Val {
-			if _, err := io.ReadFull(cr.r, u8[:]); err != nil {
-				return nil, nil, fmt.Errorf("trace: column-store value block: %w", truncated(err))
-			}
-			counters[i].Val[k] = math.Float64frombits(binary.LittleEndian.Uint64(u8[:]))
+	for k := 0; k < total; k++ {
+		if _, err := io.ReadFull(br, u8[:]); err != nil {
+			return nil, nil, fmt.Errorf("trace: column-store value block: %w", truncated(err))
 		}
+		valCells = append(valCells, math.Float64frombits(binary.LittleEndian.Uint64(u8[:])))
+	}
+
+	counters = make([]stats.Sparse, 0, capHint(int64(n)))
+	at := 0
+	for i := 0; i < n; i++ {
+		counters = append(counters, stats.Sparse{
+			Idx: idxCells[at : at+nnz[i] : at+nnz[i]],
+			Val: valCells[at : at+nnz[i] : at+nnz[i]],
+			Dim: dim,
+		})
+		at += nnz[i]
 	}
 	return meta, counters, nil
 }

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"sentomist/internal/randx"
+	"sentomist/internal/stats"
+)
+
+// TestColWriterIndex checks the writer-side block index against the encoded
+// stream: offsets and lengths tile the byte range exactly, sample ordinals
+// accumulate, and the per-dimension statistics match a brute-force pass
+// over the appended counters.
+func TestColWriterIndex(t *testing.T) {
+	rng := randx.New(19)
+	var buf bytes.Buffer
+	w, err := NewColWriter(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks [][]stats.Sparse
+	for b := 0; b < 7; b++ {
+		meta, cnt := randomBlock(rng, 1+rng.Intn(30), 64+rng.Intn(100), 4)
+		if err := w.Append(meta, cnt); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, cnt)
+	}
+	if err := w.Append(nil, nil); err != nil { // must not add an index entry
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	idx := w.Index()
+	if len(idx) != len(blocks) {
+		t.Fatalf("index has %d entries for %d blocks", len(idx), len(blocks))
+	}
+	off, start := int64(len(colMagic)), 0
+	for b, st := range idx {
+		if st.Offset != off {
+			t.Fatalf("block %d offset %d, want %d", b, st.Offset, off)
+		}
+		if st.Start != start {
+			t.Fatalf("block %d start %d, want %d", b, st.Start, start)
+		}
+		if st.Samples != len(blocks[b]) {
+			t.Fatalf("block %d records %d samples, appended %d", b, st.Samples, len(blocks[b]))
+		}
+		if st.Length <= 0 {
+			t.Fatalf("block %d has non-positive length %d", b, st.Length)
+		}
+		off += st.Length
+		start += st.Samples
+
+		want := bruteDims(blocks[b])
+		if !reflect.DeepEqual(st.Dims, want) {
+			t.Fatalf("block %d dim stats diverge:\n got %v\nwant %v", b, st.Dims, want)
+		}
+	}
+	if off != int64(buf.Len()) {
+		t.Fatalf("index covers %d bytes, stream has %d", off, buf.Len())
+	}
+	if w.Offset() != int64(buf.Len()) || w.Samples() != start {
+		t.Fatalf("writer reports offset=%d samples=%d, want %d/%d", w.Offset(), w.Samples(), buf.Len(), start)
+	}
+}
+
+// bruteDims recomputes a block's per-dimension statistics the slow way.
+func bruteDims(counters []stats.Sparse) []ColDimStat {
+	byDim := map[int32]*ColDimStat{}
+	var order []int32
+	for _, c := range counters {
+		for k, d := range c.Idx {
+			v := c.Val[k]
+			s, ok := byDim[d]
+			if !ok {
+				byDim[d] = &ColDimStat{Dim: d, Min: v, Max: v, Count: 1}
+				order = append(order, d)
+				continue
+			}
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+			s.Count++
+		}
+	}
+	for i := range order {
+		for j := i + 1; j < len(order); j++ {
+			if order[j] < order[i] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	var out []ColDimStat
+	for _, d := range order {
+		out = append(out, *byDim[d])
+	}
+	return out
+}
+
+// TestReadColBlockAt decodes each indexed block at its recorded offset and
+// checks it is bit-identical to the sequential reader's view, in any order.
+func TestReadColBlockAt(t *testing.T) {
+	rng := randx.New(23)
+	var buf bytes.Buffer
+	w, err := NewColWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 6; b++ {
+		meta, cnt := randomBlock(rng, 1+rng.Intn(25), 80, 2)
+		if err := w.Append(meta, cnt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.NewReader(buf.Bytes())
+	r, err := NewColReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqMeta [][][]int64
+	var seqCnt [][]stats.Sparse
+	for {
+		m, c, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqMeta = append(seqMeta, m)
+		seqCnt = append(seqCnt, c)
+	}
+	idx := w.Index()
+	if len(idx) != len(seqCnt) {
+		t.Fatalf("index has %d entries, sequential read saw %d blocks", len(idx), len(seqCnt))
+	}
+	// Visit blocks back to front to prove random access.
+	for b := len(idx) - 1; b >= 0; b-- {
+		m, c, err := ReadColBlockAt(data, idx[b].Offset)
+		if err != nil {
+			t.Fatalf("block %d at offset %d: %v", b, idx[b].Offset, err)
+		}
+		if !reflect.DeepEqual(m, seqMeta[b]) {
+			t.Fatalf("block %d meta diverges from sequential read", b)
+		}
+		if len(c) != len(seqCnt[b]) {
+			t.Fatalf("block %d has %d counters, want %d", b, len(c), len(seqCnt[b]))
+		}
+		for i := range c {
+			want := seqCnt[b][i]
+			if c[i].Dim != want.Dim || !reflect.DeepEqual(c[i].Idx, want.Idx) {
+				t.Fatalf("block %d counter %d shape diverges", b, i)
+			}
+			for k := range want.Val {
+				if math.Float64bits(c[i].Val[k]) != math.Float64bits(want.Val[k]) {
+					t.Fatalf("block %d counter %d value %d not bit-identical", b, i, k)
+				}
+			}
+		}
+	}
+	// Offsets that do not start a block must error, not panic or misread.
+	if _, _, err := ReadColBlockAt(data, 0); err == nil {
+		t.Fatal("offset inside the magic accepted")
+	}
+	if _, _, err := ReadColBlockAt(data, int64(buf.Len())); err == nil {
+		t.Fatal("offset at EOF accepted")
+	}
+	if _, _, err := ReadColBlockAt(data, int64(buf.Len())+100); err == nil {
+		t.Fatal("offset past EOF accepted")
+	}
+}

@@ -117,10 +117,72 @@ func TestOnlineMatchesOneShotMultihop(t *testing.T) {
 	}
 }
 
+// TestOnlineMultiIRQMatchesOneShot pins multi-IRQ finality on the multihop
+// chain: the forwarding node's timer and radio-receive intervals are mined
+// together over one shared spill, and FinalizeAll's per-type rankings must
+// each match one-shot MineBatches with that type as the config IRQ.
+func TestOnlineMultiIRQMatchesOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	run, err := synth.Multihop(synth.MultihopConfig{Nodes: 6, Seconds: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []sentomist.RunInput{{Trace: run.Trace, Programs: run.Programs}}
+	irqs := []int{sentomist.IRQTimer0, sentomist.IRQRadioRX}
+	want := map[int]*sentomist.Ranking{}
+	for _, irq := range irqs {
+		cfg := sentomist.MineConfig{IRQ: irq, Nodes: []int{2}}
+		oneShot, err := sentomist.ExtractBatches(inputs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[irq], err = sentomist.MineBatches(oneShot, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := sentomist.MineConfig{IRQ: sentomist.IRQTimer0, Nodes: []int{2}}
+	batches, err := sentomist.ExtractBatchesFor(inputs, cfg, irqs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spill := range []string{"", t.TempDir()} {
+		miner, err := sentomist.NewOnlineMiner(sentomist.OnlineMineConfig{
+			Config:     cfg,
+			IRQs:       []int{sentomist.IRQRadioRX},
+			RefitEvery: 2,
+			TopK:       5,
+			SpillDir:   spill,
+			SpillBlock: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches {
+			if err := miner.Add(b); err != nil {
+				miner.Close()
+				t.Fatal(err)
+			}
+		}
+		all, err := miner.FinalizeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != len(irqs) {
+			t.Fatalf("FinalizeAll returned %d rankings, want %d", len(all), len(irqs))
+		}
+		for _, irq := range irqs {
+			sameRankingExact(t, "multihop/multi-irq", want[irq], all[irq])
+		}
+	}
+}
+
 // TestOnlineCampaignMatchesMine pins the campaign engine's streaming-ingest
 // arm: runs finish on a worker pool in nondeterministic order, are ingested
 // strictly in run order, and the finalized ranking still matches the
-// materialized pipeline at every worker count.
+// materialized pipeline at every worker count — with tiny-block compaction
+// and the full-replay baseline exercised along the way.
 func TestOnlineCampaignMatchesMine(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end simulations")
@@ -139,8 +201,16 @@ func TestOnlineCampaignMatchesMine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{1, 4, 0} {
-		got, err := campaignCaseIOnline(workers, t.TempDir())
+	for _, v := range []struct {
+		workers      int
+		spillCompact int
+		fullReplay   bool
+	}{
+		{workers: 1},
+		{workers: 4, spillCompact: 2}, // tiny blocks merge every refit
+		{workers: 0, fullReplay: true},
+	} {
+		got, err := campaignCaseIOnline(v.workers, t.TempDir(), v.spillCompact, v.fullReplay)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +220,7 @@ func TestOnlineCampaignMatchesMine(t *testing.T) {
 
 // campaignCaseIOnline is streaming_test.go's reduced Case-I campaign with
 // the online arm enabled: refit every batch, top-5, columnar disk spill.
-func campaignCaseIOnline(workers int, spillDir string) (*sentomist.Ranking, error) {
+func campaignCaseIOnline(workers int, spillDir string, spillCompact int, fullReplay bool) (*sentomist.Ranking, error) {
 	periods := []int{20, 40, 60}
 	runs := make([]sentomist.CampaignRun, len(periods))
 	for i, d := range periods {
@@ -175,9 +245,12 @@ func campaignCaseIOnline(workers int, spillDir string) (*sentomist.Ranking, erro
 		Nodes:   []int{sentomist.CaseISensorID},
 		Workers: workers,
 		Online: &sentomist.CampaignOnline{
-			RefitEvery: 1,
-			TopK:       5,
-			SpillDir:   spillDir,
+			RefitEvery:   1,
+			TopK:         5,
+			SpillDir:     spillDir,
+			SpillBlock:   16,
+			SpillCompact: spillCompact,
+			FullReplay:   fullReplay,
 		},
 	}, runs)
 }

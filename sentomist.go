@@ -142,6 +142,15 @@ func MineCampaign(cfg CampaignConfig, runs []CampaignRun) (*Ranking, error) {
 	return campaign.Mine(cfg, runs)
 }
 
+// MineCampaignAll is MineCampaign for multi-IRQ online campaigns: every
+// event type named by cfg.IRQ and cfg.Online.IRQs is mined over the shared
+// run stream, returning one final ranking per type — each bit-identical to
+// the one-shot path with that type as the config IRQ. Requires
+// CampaignConfig.Online.
+func MineCampaignAll(cfg CampaignConfig, runs []CampaignRun) (map[int]*Ranking, error) {
+	return campaign.MineAll(cfg, runs)
+}
+
 // MineBatches ranks pre-featured interval batches — the detect → rank
 // tail of the pipeline, for batches produced by Streamers outside
 // MineCampaign.
@@ -178,6 +187,12 @@ func NewOnlineMiner(cfg OnlineMineConfig) (*OnlineMiner, error) {
 // order Mine does.
 func ExtractBatches(runs []RunInput, cfg MineConfig) ([]MineBatch, error) {
 	return core.ExtractBatches(runs, cfg)
+}
+
+// ExtractBatchesFor is ExtractBatches over a set of event types — the
+// stream a multi-IRQ OnlineMiner (OnlineMineConfig.IRQs) ingests.
+func ExtractBatchesFor(runs []RunInput, cfg MineConfig, irqs ...int) ([]MineBatch, error) {
+	return core.ExtractBatchesFor(runs, cfg, irqs...)
 }
 
 // SVMDetector is the paper's default detector with every training knob
